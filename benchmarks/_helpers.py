@@ -1,0 +1,30 @@
+"""Shared helpers for the pytest-benchmark suite.
+
+One benchmark file per table/figure of the paper (see DESIGN.md §3).
+Each file benchmarks the operation the experiment times and asserts the
+*shape* claims the paper makes about it; the full printed tables come
+from ``python -m repro <exp-id>``.
+"""
+
+import numpy as np
+
+from repro.bench.runner import make_estimator
+
+#: Paper estimators benchmarked head-to-head.
+NAMES = ("MRB", "FM", "HLL++", "HLL-TailC", "SMB")
+
+
+def fresh(name: str, memory_bits: int = 5_000, design: int = 1_000_000,
+          seed: int = 0):
+    """A fresh estimator with the paper's sizing rules, NumPy pre-warmed."""
+    estimator = make_estimator(name, memory_bits, design, seed)
+    estimator.record_many(np.arange(64, dtype=np.uint64))
+    return make_estimator(name, memory_bits, design, seed)
+
+
+def loaded(name: str, items, memory_bits: int = 5_000,
+           design: int = 1_000_000, seed: int = 0):
+    """An estimator that has already recorded ``items``."""
+    estimator = make_estimator(name, memory_bits, design, seed)
+    estimator.record_many(items)
+    return estimator

@@ -1,0 +1,97 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out:
+SMB threshold sensitivity, batch chunk sizing, and MRB base selection.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.smb as smb_module
+from repro import MultiResolutionBitmap, SelfMorphingBitmap
+from repro.core.tuning import optimal_threshold
+from repro.streams import distinct_items
+
+M, N = 5_000, 200_000
+ITEMS = distinct_items(N, seed=21)
+
+
+@pytest.mark.benchmark(group="ablate-threshold")
+@pytest.mark.parametrize("ratio", (4, 8, 13, 26))
+def test_record_at_threshold(benchmark, ratio):
+    threshold = M // ratio
+
+    def run():
+        smb = SelfMorphingBitmap(M, threshold=threshold, seed=0)
+        smb.record_many(ITEMS)
+        return smb.query()
+
+    benchmark(run)
+
+
+def test_threshold_error_is_flat_near_optimum():
+    optimum = optimal_threshold(M, 1_000_000)
+    errors = {}
+    for factor in (0.5, 1.0, 2.0):
+        threshold = max(4, int(optimum * factor))
+        trial_errors = []
+        for seed in range(8):
+            smb = SelfMorphingBitmap(M, threshold=threshold, seed=seed)
+            smb.record_many(distinct_items(N, seed=seed + 300))
+            trial_errors.append(abs(smb.query() - N) / N)
+        errors[factor] = float(np.mean(trial_errors))
+    # Within 2x of the optimum (tuned for n=1M, evaluated at n=200k)
+    # the error stays in a small band — no cliff. The optimum trades a
+    # little accuracy at small n for range coverage up to the design
+    # cardinality, so halving T (doubling rounds) costs the most.
+    assert max(errors.values()) < 6 * max(min(errors.values()), 0.005)
+    assert all(error < 0.10 for error in errors.values())
+
+
+@pytest.mark.benchmark(group="ablate-chunk")
+@pytest.mark.parametrize("chunk", (1_024, 8_192, 65_536))
+def test_record_at_chunk_size(benchmark, chunk):
+    def run():
+        original = smb_module.BATCH_CHUNK
+        smb_module.BATCH_CHUNK = chunk
+        try:
+            smb = SelfMorphingBitmap(M, threshold=384, seed=0)
+            smb.record_many(ITEMS)
+        finally:
+            smb_module.BATCH_CHUNK = original
+
+    benchmark(run)
+
+
+def test_chunk_size_does_not_change_results():
+    original = smb_module.BATCH_CHUNK
+    estimates = []
+    try:
+        for chunk in (512, 8_192, 131_072):
+            smb_module.BATCH_CHUNK = chunk
+            smb = SelfMorphingBitmap(M, threshold=384, seed=0)
+            smb.record_many(ITEMS)
+            estimates.append((smb.r, smb.v, smb.query()))
+    finally:
+        smb_module.BATCH_CHUNK = original
+    assert estimates[0] == estimates[1] == estimates[2]
+
+
+@pytest.mark.benchmark(group="ablate-mrb-base")
+@pytest.mark.parametrize("saturation", (0.7, 0.9))
+def test_mrb_query_at_saturation(benchmark, saturation):
+    mrb = MultiResolutionBitmap(416, 12, seed=0, saturation=saturation)
+    mrb.record_many(ITEMS)
+    benchmark(mrb.query)
+
+
+def test_extreme_saturation_hurts_accuracy():
+    def mean_error(saturation):
+        errors = []
+        for seed in range(8):
+            mrb = MultiResolutionBitmap(
+                416, 12, seed=seed, saturation=saturation
+            )
+            mrb.record_many(distinct_items(N, seed=seed + 400))
+            errors.append(abs(mrb.query() - N) / N)
+        return float(np.mean(errors))
+
+    assert mean_error(0.9) < mean_error(0.35)

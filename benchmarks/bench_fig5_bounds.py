@@ -1,0 +1,45 @@
+"""Figures 5a/5b: theoretical error bounds.
+
+Benchmarks the Theorem-3 evaluation and asserts the figures' shapes:
+β grows with memory (5a) and SMB's bound dominates MRB's and HLL++'s
+at the paper's operating point (5b).
+"""
+
+import numpy as np
+
+from repro.core.theory import (
+    beta_curve,
+    hll_error_bound,
+    mrb_error_bound,
+    smb_error_bound,
+)
+from repro.core.tuning import optimal_threshold
+
+DELTAS = np.linspace(0.05, 0.4, 15)
+
+
+def test_theorem3_evaluation(benchmark):
+    benchmark(smb_error_bound, 0.1, 1e6, 10_000, 833)
+
+
+def test_beta_curve(benchmark):
+    benchmark(beta_curve, DELTAS, 1e6, 10_000, 833)
+
+
+def test_fig5a_shape():
+    curves = {}
+    for m in (1_000, 2_500, 5_000, 10_000):
+        t = optimal_threshold(m, 1_000_000)
+        curves[m] = beta_curve(DELTAS, 1e6, m, t)
+    # More memory -> stronger bound, pointwise (up to saturation at 1).
+    for delta_index in range(len(DELTAS)):
+        column = [curves[m][delta_index] for m in (1_000, 2_500, 5_000, 10_000)]
+        assert all(b2 >= b1 - 1e-9 for b1, b2 in zip(column, column[1:]))
+
+
+def test_fig5b_shape():
+    t = optimal_threshold(10_000, 1_000_000)
+    for delta in (0.1, 0.15, 0.2):
+        smb = smb_error_bound(delta, 1e6, 10_000, t)
+        assert smb >= mrb_error_bound(delta, 1e6, 909, 11)
+        assert smb >= hll_error_bound(delta, 10_000)

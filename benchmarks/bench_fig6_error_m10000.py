@@ -1,0 +1,37 @@
+"""Figure 6: estimation error vs cardinality at m = 10000.
+
+Benchmarks one sweep cell and asserts the figure's shape: SMB's mean
+relative error beats MRB's and FM's and is competitive with the HLL
+family across the cardinality range.
+"""
+
+import numpy as np
+
+from repro.bench.accuracy import accuracy_sweep, select_columns
+
+MEMORY = 10_000
+GRID = (10_000, 100_000, 1_000_000)
+
+
+def _sweep(trials):
+    return accuracy_sweep(MEMORY, cardinalities=GRID, trials=trials, seed=42)
+
+
+def test_sweep_cell(benchmark):
+    benchmark.pedantic(
+        lambda: accuracy_sweep(
+            MEMORY, cardinalities=(100_000,), trials=2, seed=1
+        ),
+        rounds=3,
+    )
+
+
+def test_fig6_shape():
+    rows = _sweep(trials=12)
+    __, rel = select_columns(rows, "rel_error")
+    mean = {name: float(np.mean(series)) for name, series in rel.items()}
+    assert mean["SMB"] < mean["MRB"]
+    assert mean["SMB"] < mean["FM"]
+    assert mean["SMB"] < 1.5 * mean["HLL++"]
+    # Everyone is sane at this memory budget.
+    assert all(value < 0.15 for value in mean.values())

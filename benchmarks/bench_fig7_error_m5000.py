@@ -1,0 +1,36 @@
+"""Figure 7: estimation error vs cardinality at m = 5000 (same shape
+claims as Figure 6 at half the memory)."""
+
+import numpy as np
+
+from repro.bench.accuracy import accuracy_sweep, select_columns
+
+MEMORY = 5_000
+GRID = (10_000, 100_000, 1_000_000)
+
+
+def test_sweep_cell(benchmark):
+    benchmark.pedantic(
+        lambda: accuracy_sweep(
+            MEMORY, cardinalities=(100_000,), trials=2, seed=2
+        ),
+        rounds=3,
+    )
+
+
+def test_fig7_shape():
+    rows = accuracy_sweep(MEMORY, cardinalities=GRID, trials=12, seed=43)
+    __, rel = select_columns(rows, "rel_error")
+    mean = {name: float(np.mean(series)) for name, series in rel.items()}
+    assert mean["SMB"] < mean["MRB"]
+    assert mean["SMB"] < mean["FM"]
+    assert mean["SMB"] < 1.5 * mean["HLL++"]
+    assert all(value < 0.2 for value in mean.values())
+
+
+def test_absolute_error_grows_with_n():
+    rows = accuracy_sweep(
+        MEMORY, cardinalities=GRID, trials=6, seed=44, estimators=("SMB",)
+    )
+    abs_errors = [row["SMB/abs_error"] for row in rows]
+    assert abs_errors[-1] > abs_errors[0]

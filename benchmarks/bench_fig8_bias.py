@@ -1,0 +1,44 @@
+"""Figure 8: relative bias.
+
+Asserts the paper's findings: SMB's bias is near zero (the paper
+reports within ±0.01 with 100-trial averaging; we allow proportionally
+wider noise at reduced trial counts), while FM's raw-regime bias is
+positive.
+"""
+
+import numpy as np
+
+from repro.bench.accuracy import accuracy_sweep, select_columns
+
+GRID = (100_000, 1_000_000)
+
+
+def test_bias_sweep(benchmark):
+    benchmark.pedantic(
+        lambda: accuracy_sweep(
+            5_000, cardinalities=(100_000,), trials=2, seed=3
+        ),
+        rounds=3,
+    )
+
+
+def test_smb_near_zero_bias():
+    for memory in (10_000, 5_000):
+        rows = accuracy_sweep(
+            memory, cardinalities=GRID, trials=25, seed=45, estimators=("SMB",)
+        )
+        __, bias = select_columns(rows, "bias", estimators=("SMB",))
+        assert all(abs(b) < 0.03 for b in bias["SMB"]), (memory, bias)
+
+
+def test_smb_bias_smaller_than_fm():
+    # The paper reports FM/HLL++ biased (~±0.03) while SMB is near
+    # zero. Our FM differs in sign (implementation-specific small-range
+    # handling; see EXPERIMENTS.md) but the ordering — SMB's |bias| is
+    # far smaller than FM's — reproduces.
+    rows = accuracy_sweep(
+        5_000, cardinalities=(1_000_000,), trials=25, seed=46,
+        estimators=("FM", "SMB"),
+    )
+    __, bias = select_columns(rows, "bias", estimators=("FM", "SMB"))
+    assert abs(float(np.mean(bias["SMB"]))) < abs(float(np.mean(bias["FM"])))

@@ -1,0 +1,92 @@
+"""Microbenchmarks of the substrates every estimator is built on:
+hashing (scalar + vectorized), geometric levels, and BitVector ops.
+
+These are not paper experiments; they exist so performance regressions
+in the foundations are caught before they distort the table/figure
+benchmarks above them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitvector import BitVector
+from repro.hashing import (
+    GeometricHash,
+    UniformHash,
+    canonical_u64_array,
+    fnv1a64,
+    splitmix64,
+)
+
+ARRAY = np.arange(100_000, dtype=np.uint64)
+HASH = UniformHash(7)
+GEO = GeometricHash(7)
+
+
+@pytest.mark.benchmark(group="substrate-hash")
+def test_splitmix64_scalar(benchmark):
+    benchmark(lambda: [splitmix64(x) for x in range(1_000)])
+
+
+@pytest.mark.benchmark(group="substrate-hash")
+def test_uniform_hash_array_100k(benchmark):
+    benchmark(HASH.hash_array, ARRAY)
+
+
+@pytest.mark.benchmark(group="substrate-hash")
+def test_geometric_array_100k(benchmark):
+    benchmark(GEO.value_array, ARRAY)
+
+
+@pytest.mark.benchmark(group="substrate-hash")
+def test_fnv1a_string(benchmark):
+    payload = b"a-128-byte-ish-string" * 6
+    benchmark(fnv1a64, payload)
+
+
+@pytest.mark.benchmark(group="substrate-hash")
+def test_canonicalize_string_batch(benchmark):
+    items = [f"item-{i}" for i in range(2_000)]
+    benchmark(canonical_u64_array, items)
+
+
+@pytest.mark.benchmark(group="substrate-bits")
+def test_bitvector_scalar_set(benchmark):
+    def run():
+        vec = BitVector(8192)
+        for i in range(0, 8192, 3):
+            vec.set(i)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="substrate-bits")
+def test_bitvector_set_many_100k(benchmark):
+    indices = (HASH.hash_array(ARRAY) % np.uint64(8192)).astype(np.uint64)
+
+    def run():
+        BitVector(8192).set_many(indices)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="substrate-bits")
+def test_bitvector_count_new_100k(benchmark):
+    indices = (HASH.hash_array(ARRAY) % np.uint64(8192)).astype(np.uint64)
+    vec = BitVector(8192)
+    vec.set_many(indices[:50_000])
+    benchmark(vec.count_new, indices)
+
+
+def test_vectorized_hash_is_much_faster_than_scalar():
+    import time
+
+    start = time.perf_counter()
+    HASH.hash_array(ARRAY)
+    vector_time = time.perf_counter() - start
+    start = time.perf_counter()
+    for x in range(1_000):
+        HASH.hash_u64(x)
+    scalar_time_per_item = (time.perf_counter() - start) / 1_000
+    vector_time_per_item = vector_time / ARRAY.size
+    assert vector_time_per_item < scalar_time_per_item / 5

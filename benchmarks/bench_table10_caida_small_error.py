@@ -1,0 +1,43 @@
+"""Table X: average absolute error for trace streams with n <= 1000.
+
+Asserts the paper's finding: every estimator is near-exact on small
+streams (average absolute error of a handful of items), with errors
+shrinking as memory grows.
+"""
+
+from repro.bench.caida import absolute_error_by_group
+from repro.streams import SyntheticTrace, TraceConfig
+
+TRACE = SyntheticTrace(
+    TraceConfig(num_streams=300, total_packets=300_000,
+                max_cardinality=8_000, seed=13)
+)
+
+
+def _small_rows(memories=(1_000, 5_000)):
+    small, __ = absolute_error_by_group(
+        TRACE, memories=memories, max_small_streams=150
+    )
+    return small
+
+
+def test_small_stream_errors(benchmark):
+    benchmark.pedantic(
+        lambda: absolute_error_by_group(
+            TRACE, memories=(5_000,), max_small_streams=60
+        ),
+        rounds=2,
+    )
+
+
+def test_all_estimators_near_exact_on_small_streams():
+    for row in _small_rows():
+        for name, value in row.items():
+            if name == "memory_bits":
+                continue
+            assert value < 25, f"{name} at m={row['memory_bits']}: {value}"
+
+
+def test_errors_shrink_with_memory():
+    rows = _small_rows(memories=(1_000, 10_000))
+    assert rows[1]["SMB"] <= rows[0]["SMB"]

@@ -1,0 +1,46 @@
+"""Table I: per-item recording overhead and per-query overhead.
+
+Benchmarks the scalar (per-item) recording path — the operation whose
+hash/memory cost Table I tabulates — and asserts the measured counter
+shapes: SMB's amortized per-arrival cost drops below everyone else's
+once sampling kicks in, and its query touches 32 bits.
+"""
+
+import pytest
+
+from _helpers import NAMES, fresh, loaded
+from repro.bench.overheads import overhead_table
+from repro.streams import distinct_items
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_scalar_record(benchmark, name):
+    items = distinct_items(2_000, seed=3).tolist()
+
+    def run():
+        estimator = fresh(name)
+        for item in items:
+            estimator.record(item)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="table1-query")
+@pytest.mark.parametrize("name", NAMES)
+def test_query_overhead(benchmark, name, items_100k):
+    estimator = loaded(name, items_100k)
+    benchmark(estimator.query)
+
+
+def test_shapes():
+    rows = {row["estimator"]: row for row in overhead_table()}
+    # SMB records most arrivals with a single (geometric) hash.
+    assert rows["SMB"]["record hash/item"] < 1.5
+    assert all(rows[name]["record hash/item"] == 2 for name in
+               ("MRB", "FM", "HLL++", "HLL-TailC"))
+    # Algorithm 2 reads two counters: 32 bits.
+    assert rows["SMB"]["query bits"] == 32
+    # Register-file estimators scan ~m bits per query.
+    assert rows["HLL++"]["query bits"] >= 4_000
+    # MRB queries k counters, far fewer bits than the register scans.
+    assert rows["MRB"]["query bits"] < rows["HLL++"]["query bits"]

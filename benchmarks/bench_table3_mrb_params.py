@@ -1,0 +1,23 @@
+"""Table III: MRB dimensioning lookup and analytic fallback."""
+
+import math
+
+from repro.core.tuning import TABLE_III, mrb_parameters
+
+
+def test_lookup(benchmark):
+    benchmark(mrb_parameters, 5_000, 1_000_000)
+
+
+def test_analytic_fallback(benchmark):
+    benchmark(mrb_parameters, 7_777, 1_000_000)
+
+
+def test_table_shapes():
+    # Every tabulated configuration's estimation range covers its n.
+    for (m, n), params in TABLE_III.items():
+        reach = math.ldexp(
+            params.component_bits * math.log(params.component_bits),
+            params.num_components - 1,
+        )
+        assert reach >= n, f"(m={m}, n={n})"

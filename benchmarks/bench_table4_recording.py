@@ -1,0 +1,48 @@
+"""Table IV: recording throughput vs stream cardinality.
+
+Benchmarks batch recording per estimator at two cardinalities and
+asserts the paper's headline shape: SMB's throughput *grows* with the
+stream cardinality (adaptive sampling discards arrivals before any
+memory access) while the baselines stay flat.
+"""
+
+import pytest
+
+from _helpers import NAMES, fresh
+from repro.bench.throughput import recording_throughput_table
+
+
+@pytest.mark.benchmark(group="table4-record-100k")
+@pytest.mark.parametrize("name", NAMES)
+def test_record_100k(benchmark, name, items_100k):
+    benchmark.pedantic(
+        lambda estimator: estimator.record_many(items_100k),
+        setup=lambda: ((fresh(name),), {}),
+        rounds=5,
+    )
+
+
+@pytest.mark.benchmark(group="table4-record-1m")
+@pytest.mark.parametrize("name", NAMES)
+def test_record_1m(benchmark, name, items_1m):
+    benchmark.pedantic(
+        lambda estimator: estimator.record_many(items_1m),
+        setup=lambda: ((fresh(name, design=10_000_000),), {}),
+        rounds=3,
+    )
+
+
+def test_smb_throughput_grows_with_cardinality():
+    rows = recording_throughput_table(
+        cardinalities=(10_000, 1_000_000), estimators=("SMB", "HLL++")
+    )
+    small, large = rows[0], rows[1]
+    assert large["SMB"] > 2 * small["SMB"]
+    # Baselines stay within a small factor across the same range.
+    assert large["HLL++"] < 3 * small["HLL++"]
+
+
+def test_smb_fastest_at_large_cardinality():
+    rows = recording_throughput_table(cardinalities=(1_000_000,))
+    row = rows[0]
+    assert all(row["SMB"] > row[name] for name in NAMES if name != "SMB")

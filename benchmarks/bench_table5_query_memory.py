@@ -1,0 +1,45 @@
+"""Table V: query throughput vs memory allocation.
+
+Benchmarks ``query()`` per estimator and memory budget and asserts the
+paper's shape: register-scanning estimators slow down as memory grows,
+while MRB (k counters) and SMB (two counters) are memory-independent,
+with SMB fastest overall.
+"""
+
+import pytest
+
+from _helpers import NAMES, loaded
+from repro.bench.runner import time_call
+from repro.streams import distinct_items
+
+MEMORIES = (10_000, 5_000, 2_500, 1_000)
+ITEMS = distinct_items(100_000, seed=4)
+
+
+@pytest.mark.benchmark(group="table5-query")
+@pytest.mark.parametrize("memory_bits", MEMORIES)
+@pytest.mark.parametrize("name", NAMES)
+def test_query(benchmark, name, memory_bits):
+    estimator = loaded(name, ITEMS, memory_bits=memory_bits)
+    benchmark(estimator.query)
+
+
+def test_smb_query_fastest():
+    per_second = {}
+    for name in NAMES:
+        estimator = loaded(name, ITEMS, memory_bits=10_000)
+        per_second[name] = 1.0 / time_call(estimator.query)
+    assert all(
+        per_second["SMB"] > per_second[name]
+        for name in NAMES if name != "SMB"
+    )
+
+
+def test_register_scan_scales_with_memory():
+    # HLL++'s query cost grows with m; SMB's does not.
+    hll_small = 1.0 / time_call(loaded("HLL++", ITEMS, memory_bits=1_000).query)
+    hll_large = 1.0 / time_call(loaded("HLL++", ITEMS, memory_bits=10_000).query)
+    assert hll_large < hll_small
+    smb_small = 1.0 / time_call(loaded("SMB", ITEMS, memory_bits=1_000).query)
+    smb_large = 1.0 / time_call(loaded("SMB", ITEMS, memory_bits=10_000).query)
+    assert smb_large > 0.5 * smb_small

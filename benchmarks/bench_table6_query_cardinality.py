@@ -1,0 +1,32 @@
+"""Table VI: query throughput vs stream cardinality (m = 5000).
+
+Asserts the paper's shape: SMB's query throughput dwarfs every baseline
+at every cardinality.
+"""
+
+import pytest
+
+from _helpers import NAMES, loaded
+from repro.bench.runner import time_call
+from repro.streams import distinct_items
+
+CARDINALITIES = (10_000, 100_000, 1_000_000)
+
+
+@pytest.mark.benchmark(group="table6-query")
+@pytest.mark.parametrize("n", CARDINALITIES)
+@pytest.mark.parametrize("name", ("MRB", "SMB"))
+def test_query_after_n(benchmark, name, n):
+    estimator = loaded(name, distinct_items(n, seed=5))
+    benchmark(estimator.query)
+
+
+def test_smb_dominates_at_every_cardinality():
+    for n in CARDINALITIES:
+        items = distinct_items(n, seed=6)
+        rates = {
+            name: 1.0 / time_call(loaded(name, items).query) for name in NAMES
+        }
+        assert all(
+            rates["SMB"] > rates[name] for name in NAMES if name != "SMB"
+        ), f"n={n}: {rates}"

@@ -1,0 +1,30 @@
+"""Table VII: MRB query throughput rises with stream cardinality.
+
+Large streams push MRB's base level up, so the query sums fewer
+component counters; the other estimators are unaffected by n.
+"""
+
+import pytest
+
+from _helpers import loaded
+from repro.bench.runner import time_call
+from repro.streams import distinct_items
+
+
+@pytest.mark.benchmark(group="table7-mrb-query")
+@pytest.mark.parametrize("n", (10_000, 1_000_000))
+def test_mrb_query(benchmark, n):
+    estimator = loaded("MRB", distinct_items(n, seed=7))
+    benchmark(estimator.query)
+
+
+def test_mrb_query_speeds_up_with_cardinality():
+    slow = 1.0 / time_call(loaded("MRB", distinct_items(10_000, seed=8)).query)
+    fast = 1.0 / time_call(loaded("MRB", distinct_items(1_000_000, seed=8)).query)
+    assert fast > slow
+
+
+def test_mrb_base_level_rises():
+    small = loaded("MRB", distinct_items(10_000, seed=9))
+    large = loaded("MRB", distinct_items(1_000_000, seed=9))
+    assert large._base_level() > small._base_level()

@@ -1,0 +1,42 @@
+"""Table VIII: recording throughput on the CAIDA-like trace.
+
+Uses a compact trace so benchmark rounds stay fast; asserts the paper's
+shape: SMB's throughput rises steeply with the stream's cardinality
+range.
+"""
+
+import pytest
+
+from _helpers import NAMES, fresh
+from repro.bench.caida import materialize_streams, smb_throughput_by_range
+from repro.streams import SyntheticTrace, TraceConfig
+
+TRACE = SyntheticTrace(
+    TraceConfig(num_streams=300, total_packets=300_000,
+                max_cardinality=8_000, seed=11)
+)
+STREAMS = materialize_streams(TRACE)
+
+
+@pytest.mark.benchmark(group="table8-trace-record")
+@pytest.mark.parametrize("name", NAMES)
+def test_trace_recording(benchmark, name):
+    def run(estimators):
+        for index, items in STREAMS.items():
+            estimators[index].record_many(items)
+
+    benchmark.pedantic(
+        run,
+        setup=lambda: (
+            ({index: fresh(name, design=80_000) for index in STREAMS},),
+            {},
+        ),
+        rounds=3,
+    )
+
+
+def test_smb_throughput_rises_with_range():
+    rows = smb_throughput_by_range(TRACE, streams=STREAMS)
+    rates = [row["SMB"] for row in rows if row["SMB"] is not None]
+    assert len(rates) >= 2
+    assert rates[-1] > rates[0]

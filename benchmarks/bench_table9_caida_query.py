@@ -1,0 +1,28 @@
+"""Table IX: query throughput on the CAIDA-like trace.
+
+Asserts the paper's finding: SMB's query throughput dominates every
+baseline on per-flow trace estimators.
+"""
+
+import pytest
+
+from _helpers import NAMES
+from repro.bench.caida import query_throughput
+from repro.streams import SyntheticTrace, TraceConfig
+
+TRACE = SyntheticTrace(
+    TraceConfig(num_streams=200, total_packets=200_000,
+                max_cardinality=8_000, seed=12)
+)
+
+
+def test_trace_query_throughput(benchmark):
+    benchmark.pedantic(
+        lambda: query_throughput(TRACE, sample_streams=5),
+        rounds=2,
+    )
+
+
+def test_smb_dominates():
+    rates = query_throughput(TRACE, sample_streams=10)
+    assert all(rates["SMB"] > rates[name] for name in NAMES if name != "SMB")

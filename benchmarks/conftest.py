@@ -1,0 +1,21 @@
+"""Pytest wiring for the benchmark suite (helpers live in _helpers.py)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make `from _helpers import ...` work regardless of invocation dir.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.streams import distinct_items  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def items_100k():
+    return distinct_items(100_000, seed=1)
+
+
+@pytest.fixture(scope="session")
+def items_1m():
+    return distinct_items(1_000_000, seed=2)

@@ -1,0 +1,72 @@
+"""Massive flow populations: shared-memory virtual sketches.
+
+Run:  python examples/massive_flows.py
+
+When the number of streams is huge (a router tracking every source
+address), even a 1000-bit estimator per flow is too much memory. The
+sketch line of work the paper cites in §II-C shares one physical pool
+among all flows; this example compares the three deployment options the
+library offers on the same workload:
+
+1. `PerFlowSketch` of SMBs — one estimator per flow (most accurate,
+   most memory);
+2. `CompactSpreadEstimator` — virtual bitmaps in a shared bit pool;
+3. `VirtualHyperLogLog` — virtual HLLs in a shared register pool.
+"""
+
+import numpy as np
+
+from repro import PerFlowSketch, SelfMorphingBitmap
+from repro.sketches import CompactSpreadEstimator, VirtualHyperLogLog
+from repro.streams import distinct_items
+
+RNG = np.random.default_rng(21)
+
+NUM_FLOWS = 2_000
+#: Per-flow cardinalities: heavy-tailed, 10 .. ~20k.
+CARDINALITIES = np.maximum(10, (20_000 * (np.arange(NUM_FLOWS) + 1.0) ** -0.9)).astype(int)
+
+
+def main() -> None:
+    per_flow = PerFlowSketch(lambda: SelfMorphingBitmap(1_000, design_cardinality=100_000))
+    cse = CompactSpreadEstimator(pool_bits=400_000, virtual_bits=512)
+    vhll = VirtualHyperLogLog(pool_registers=80_000, virtual_registers=256)
+
+    for flow, cardinality in enumerate(CARDINALITIES.tolist()):
+        items = distinct_items(cardinality, seed=flow)
+        per_flow.record_many(flow, items)
+        cse.record_many(flow, items)
+        vhll.record_many(flow, items)
+
+    total_items = int(CARDINALITIES.sum())
+    print(f"{NUM_FLOWS:,} flows, {total_items:,} distinct (flow, item) pairs\n")
+
+    schemes = [
+        ("per-flow SMB", per_flow.query, per_flow.memory_bits()),
+        ("CSE (shared bitmap)", cse.query, cse.memory_bits()),
+        ("vHLL (shared registers)", vhll.query, vhll.memory_bits()),
+    ]
+    print(f"{'scheme':>24}  {'memory':>10}  {'err (large flows)':>18}  "
+          f"{'err (all flows)':>16}")
+    for name, query, memory_bits in schemes:
+        errors_all, errors_large = [], []
+        for flow, cardinality in enumerate(CARDINALITIES.tolist()):
+            error = abs(query(flow) - cardinality) / cardinality
+            errors_all.append(error)
+            if cardinality >= 1_000:
+                errors_large.append(error)
+        print(
+            f"{name:>24}  {memory_bits / 8 / 1024:>8.0f}KB  "
+            f"{float(np.mean(errors_large)):>17.1%}  "
+            f"{float(np.mean(errors_all)):>15.1%}"
+        )
+
+    print(
+        "\nthe shared pools track the whole population in a fraction of "
+        "the per-flow memory,\ntrading per-flow accuracy — the regime "
+        "choice §II-C of the paper describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Scan detection: find sources contacting too many distinct destinations.
+
+Run:  python examples/scan_detection.py
+
+The paper's first motivating application (§I): at an enterprise
+gateway, treat all packets from one source address as a data stream
+whose items are destination addresses. A source whose stream
+cardinality crosses a threshold is scanning the network.
+
+This example builds the traffic with a handful of planted scanners
+hidden among thousands of benign hosts, tracks every source with a
+small per-flow SMB, and performs the *online* query the paper
+advocates: because an SMB query costs two counter reads, the detector
+can afford to check the threshold on every packet and raise the alarm
+at the exact packet that crosses it.
+"""
+
+import numpy as np
+
+from repro import PerFlowSketch, SelfMorphingBitmap
+
+RNG = np.random.default_rng(2024)
+
+NUM_BENIGN = 2_000          # benign hosts talk to a few destinations
+BENIGN_MAX_CONTACTS = 30
+NUM_SCANNERS = 5            # scanners sweep thousands of addresses
+SCAN_WIDTH = 5_000
+ALARM_THRESHOLD = 500       # distinct destinations before we alert
+
+#: Per-source estimator: 1000 bits is enough for the alarm range.
+FACTORY = lambda: SelfMorphingBitmap(1_000, design_cardinality=100_000)
+
+
+def build_packets() -> np.ndarray:
+    """(source, destination) pairs with scanners mixed in, shuffled."""
+    chunks = []
+    for source in range(NUM_BENIGN):
+        contacts = RNG.integers(1, BENIGN_MAX_CONTACTS, endpoint=True)
+        destinations = RNG.integers(0, 1 << 32, size=contacts, dtype=np.uint64)
+        # Benign hosts revisit their destinations: ~5 packets each.
+        repeated = RNG.choice(destinations, size=contacts * 5)
+        chunk = np.empty((repeated.size, 2), dtype=np.uint64)
+        chunk[:, 0] = source
+        chunk[:, 1] = repeated
+        chunks.append(chunk)
+    for scanner_id in range(NUM_SCANNERS):
+        source = 1_000_000 + scanner_id  # distinct key space
+        destinations = RNG.integers(0, 1 << 32, size=SCAN_WIDTH, dtype=np.uint64)
+        chunk = np.empty((SCAN_WIDTH, 2), dtype=np.uint64)
+        chunk[:, 0] = source
+        chunk[:, 1] = destinations
+        chunks.append(chunk)
+    packets = np.concatenate(chunks)
+    RNG.shuffle(packets, axis=0)
+    return packets
+
+
+def main() -> None:
+    packets = build_packets()
+    print(f"replaying {packets.shape[0]:,} packets "
+          f"({NUM_BENIGN} benign hosts, {NUM_SCANNERS} scanners)")
+
+    sketch = PerFlowSketch(FACTORY)
+    alarms: dict[int, int] = {}  # source -> packet index of first alarm
+
+    # Online loop: record each packet and immediately query — feasible
+    # precisely because SMB queries are O(1).
+    for index, (source, destination) in enumerate(packets.tolist()):
+        sketch.record(source, destination)
+        if source not in alarms and sketch.query(source) > ALARM_THRESHOLD:
+            alarms[source] = index
+
+    print(f"\nalarms raised: {len(alarms)}")
+    for source, packet_index in sorted(alarms.items(), key=lambda kv: kv[1]):
+        estimate = sketch.query(source)
+        print(
+            f"  source {source}: flagged at packet {packet_index:,}, "
+            f"estimated {estimate:,.0f} distinct destinations"
+        )
+
+    planted = {1_000_000 + i for i in range(NUM_SCANNERS)}
+    detected = set(alarms)
+    print(f"\ndetected {len(detected & planted)}/{NUM_SCANNERS} planted "
+          f"scanners, {len(detected - planted)} false positives")
+    top = sketch.flows_above(ALARM_THRESHOLD)
+    print("final leaderboard:", [(int(k), round(v)) for k, v in top[:5]])
+
+    # Alternative deployment: the invertible SpreadSketch needs no
+    # per-source state at all — a fixed d x w grid of SMB cells finds
+    # the same scanners at a fraction of the memory.
+    from repro.sketches import SpreadSketch
+
+    grid = SpreadSketch(FACTORY, rows=4, columns=64)
+    for source, destination in packets.tolist():
+        grid.record(source, destination)
+    inverted = {flow for flow, __ in grid.superspreaders(NUM_SCANNERS)}
+    print(
+        f"\nSpreadSketch ({grid.memory_bits() / 8 / 1024:.0f} KiB fixed vs "
+        f"{sketch.memory_bits() / 8 / 1024:.0f} KiB per-flow): "
+        f"recovered {len(inverted & planted)}/{NUM_SCANNERS} scanners "
+        "by inversion"
+    )
+
+
+if __name__ == "__main__":
+    main()

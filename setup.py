@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs (offline environments without the
+`wheel` package, where PEP 660 editable wheels cannot be built)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro — Self-Morphing Bitmap cardinality estimation.
+
+A production-quality reproduction of *Online Cardinality Estimation by
+Self-morphing Bitmaps* (Wang, Ma, Chen, Wang — ICDE 2022): the SMB
+estimator, every baseline the paper compares against, the theoretical
+error bounds, and the full experiment harness.
+
+Quickstart::
+
+    from repro import SelfMorphingBitmap
+
+    smb = SelfMorphingBitmap(memory_bits=5000)
+    for item in ("alice", "bob", "alice"):
+        smb.record(item)
+    print(smb.query())   # ~2.0
+"""
+
+from repro.bitvector import BitVector
+from repro.core.smb import SelfMorphingBitmap
+from repro.core.theory import (
+    hll_error_bound,
+    mrb_error_bound,
+    smb_error_bound,
+)
+from repro.core.tuning import mrb_parameters, optimal_threshold
+from repro.estimators import (
+    AdaptiveBitmap,
+    Bitmap,
+    CardinalityEstimator,
+    ExactCounter,
+    FMSketch,
+    HyperLogLog,
+    HyperLogLogPlusPlus,
+    HyperLogLogTailCut,
+    KMinValues,
+    LogLog,
+    MultiResolutionBitmap,
+    SuperLogLog,
+)
+from repro.sketches import PerFlowSketch
+from repro.streams import (
+    SyntheticTrace,
+    TraceConfig,
+    distinct_items,
+    random_strings,
+    stream_with_duplicates,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveBitmap",
+    "BitVector",
+    "Bitmap",
+    "CardinalityEstimator",
+    "ExactCounter",
+    "FMSketch",
+    "HyperLogLog",
+    "HyperLogLogPlusPlus",
+    "HyperLogLogTailCut",
+    "KMinValues",
+    "LogLog",
+    "MultiResolutionBitmap",
+    "PerFlowSketch",
+    "SelfMorphingBitmap",
+    "SuperLogLog",
+    "SyntheticTrace",
+    "TraceConfig",
+    "distinct_items",
+    "hll_error_bound",
+    "mrb_error_bound",
+    "mrb_parameters",
+    "optimal_threshold",
+    "random_strings",
+    "smb_error_bound",
+    "stream_with_duplicates",
+    "__version__",
+]

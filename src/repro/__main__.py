@@ -1,0 +1,13 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into e.g. `head`: exit quietly like other CLIs.
+        sys.stderr.close()
+        sys.exit(0)

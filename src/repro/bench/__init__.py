@@ -1,0 +1,47 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+See DESIGN.md §3 for the experiment index; ``python -m repro <exp-id>``
+runs any of them from the command line.
+"""
+
+from repro.bench.accuracy import accuracy_sweep, select_columns
+from repro.bench.caida import (
+    absolute_error_by_group,
+    query_throughput,
+    recording_throughput,
+    smb_throughput_by_range,
+)
+from repro.bench.overheads import overhead_table
+from repro.bench.reporting import format_series, format_table
+from repro.bench.runner import (
+    ALL_ESTIMATORS,
+    PAPER_ESTIMATORS,
+    make_estimator,
+    repro_scale,
+)
+from repro.bench.throughput import (
+    query_throughput_vs_cardinality,
+    query_throughput_vs_memory,
+    recording_throughput_online,
+    recording_throughput_table,
+)
+
+__all__ = [
+    "ALL_ESTIMATORS",
+    "PAPER_ESTIMATORS",
+    "absolute_error_by_group",
+    "accuracy_sweep",
+    "format_series",
+    "format_table",
+    "make_estimator",
+    "overhead_table",
+    "query_throughput",
+    "query_throughput_vs_cardinality",
+    "query_throughput_vs_memory",
+    "recording_throughput",
+    "recording_throughput_online",
+    "recording_throughput_table",
+    "repro_scale",
+    "select_columns",
+    "smb_throughput_by_range",
+]

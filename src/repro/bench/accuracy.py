@@ -1,0 +1,79 @@
+"""Accuracy and bias experiments: Figures 6, 7 and 8 of the paper.
+
+Each figure point averages ``trials`` independent streams of the same
+cardinality (the paper uses 100; ``REPRO_SCALE`` scales the default).
+Streams use distinct items only: by the duplicate-insensitivity
+contract (Theorem 2 and its analogues, enforced in the test suite)
+duplicates cannot change any estimator's state, so they would only
+burn time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bench.runner import (
+    PAPER_ESTIMATORS,
+    geometric_cardinalities,
+    make_estimator,
+    repro_scale,
+)
+from repro.streams import distinct_items
+
+#: Paper's per-point trial count.
+PAPER_TRIALS = 100
+
+
+def default_cardinalities(points: int = 11) -> Sequence[int]:
+    """The figures' x-axis: 10^4 … 10^6 (log-spaced)."""
+    return geometric_cardinalities(10_000, 1_000_000, points)
+
+
+def accuracy_sweep(
+    memory_bits: int,
+    cardinalities: Sequence[int] | None = None,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+    trials: int | None = None,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Measure error and bias per (estimator, cardinality).
+
+    Returns one row per cardinality with, per estimator, the mean
+    absolute error, mean relative error, and relative bias across
+    trials — the quantities plotted in Figs. 6-8.
+    """
+    grid = list(cardinalities or default_cardinalities())
+    runs = trials if trials is not None else max(3, int(PAPER_TRIALS * repro_scale(0.1)))
+    rows = []
+    for n in grid:
+        row: dict[str, object] = {"cardinality": n}
+        for name in estimators:
+            estimates = np.empty(runs, dtype=np.float64)
+            for trial in range(runs):
+                estimator = make_estimator(
+                    name, memory_bits, 1_000_000, seed=seed + trial
+                )
+                estimator.record_many(
+                    distinct_items(n, seed=(seed + trial) * 2_654_435_761 + n)
+                )
+                estimates[trial] = estimator.query()
+            row[f"{name}/abs_error"] = float(np.mean(np.abs(estimates - n)))
+            row[f"{name}/rel_error"] = float(np.mean(np.abs(estimates - n) / n))
+            row[f"{name}/bias"] = float(np.mean(estimates / n - 1.0))
+        rows.append(row)
+    return rows
+
+
+def select_columns(
+    rows: list[dict[str, object]],
+    metric: str,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+) -> tuple[list[object], dict[str, list[object]]]:
+    """Project sweep rows into (x_values, {estimator: series}) form."""
+    x_values = [row["cardinality"] for row in rows]
+    series = {
+        name: [row[f"{name}/{metric}"] for row in rows] for name in estimators
+    }
+    return x_values, series

@@ -1,0 +1,206 @@
+"""CAIDA-trace experiments: Tables VIII, IX, X and Figure 9 (§V-F).
+
+All four run on the synthetic CAIDA-like trace (see
+``repro.streams.trace`` and DESIGN.md §5 for the substitution
+rationale). Each data stream gets its own estimator, exactly as the
+paper deploys one cardinality estimator per destination address.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.bench.runner import (
+    PAPER_ESTIMATORS,
+    make_estimator,
+    mdps,
+    repro_scale,
+    time_call,
+)
+from repro.streams import SyntheticTrace, TraceConfig
+
+#: Cardinality buckets of Table VIII's SMB breakdown.
+RANGE_BUCKETS = ((1, 100), (100, 1_000), (1_000, 10_000), (10_000, 10**9))
+
+#: Memory budgets of Table X / Figure 9.
+CAIDA_MEMORIES = (1_000, 2_500, 5_000, 10_000)
+
+#: The paper provisions per-stream estimators for the largest stream.
+TRACE_DESIGN_CARDINALITY = 80_000
+
+
+def default_trace(seed: int = 0) -> SyntheticTrace:
+    """The CAIDA-like trace at the REPRO_SCALE workload size.
+
+    Stream and packet counts scale linearly with REPRO_SCALE; the
+    maximum cardinality scales as the cube root so that a scaled-down
+    trace still contains a usable population of >1000-item streams for
+    Figure 9 (the rank-size law makes large streams scarce).
+    """
+    scale = repro_scale(0.002)
+    return SyntheticTrace(
+        TraceConfig(
+            num_streams=max(10, int(400_000 * scale)),
+            total_packets=max(10_000, int(200_000_000 * scale)),
+            max_cardinality=max(2_000, min(80_000, int(80_000 * scale ** (1 / 3)))),
+            seed=seed,
+        )
+    )
+
+
+def materialize_streams(
+    trace: SyntheticTrace, indices: Sequence[int] | None = None
+) -> dict[int, np.ndarray]:
+    """Generate (once) and cache the packet arrays of the given streams.
+
+    The trace is lazily generated; experiments that replay the same
+    streams for several estimators materialize them first so workload
+    generation does not pollute (or repeat inside) the timed region.
+    """
+    wanted = range(trace.num_streams) if indices is None else indices
+    return {int(index): trace.stream_items(int(index)) for index in wanted}
+
+
+def recording_throughput(
+    trace: SyntheticTrace | None = None,
+    memory_bits: int = 5_000,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+    seed: int = 0,
+    streams: dict[int, np.ndarray] | None = None,
+) -> dict[str, float]:
+    """Table VIII (top): overall recording throughput (Mdps) per estimator."""
+    trace = trace or default_trace(seed)
+    streams = streams if streams is not None else materialize_streams(trace)
+    out = {}
+    for name in estimators:
+        # Warm NumPy's one-time ufunc setup outside the timed region.
+        make_estimator(name, memory_bits, TRACE_DESIGN_CARDINALITY, seed).record_many(
+            next(iter(streams.values()))
+        )
+        total_items = 0
+        total_seconds = 0.0
+        for items in streams.values():
+            estimator = make_estimator(
+                name, memory_bits, TRACE_DESIGN_CARDINALITY, seed
+            )
+            start = time.perf_counter()
+            estimator.record_many(items)
+            total_seconds += time.perf_counter() - start
+            total_items += items.size
+        out[name] = round(mdps(total_items, total_seconds), 3)
+    return out
+
+
+def smb_throughput_by_range(
+    trace: SyntheticTrace | None = None,
+    memory_bits: int = 5_000,
+    seed: int = 0,
+    streams: dict[int, np.ndarray] | None = None,
+) -> list[dict[str, object]]:
+    """Table VIII (bottom): SMB recording throughput per cardinality range."""
+    trace = trace or default_trace(seed)
+    rows = []
+    for low, high in RANGE_BUCKETS:
+        indices = trace.streams_in_range(low, high - 1)
+        if indices.size == 0:
+            rows.append({"range": f"[{low}, {high})", "streams": 0, "SMB": None})
+            continue
+        total_items = 0
+        total_seconds = 0.0
+        for index in indices.tolist():
+            if streams is not None and index in streams:
+                items = streams[index]
+            else:
+                items = trace.stream_items(index)
+            estimator = make_estimator(
+                "SMB", memory_bits, TRACE_DESIGN_CARDINALITY, seed
+            )
+            start = time.perf_counter()
+            estimator.record_many(items)
+            total_seconds += time.perf_counter() - start
+            total_items += items.size
+        rows.append(
+            {
+                "range": f"[{low}, {high})",
+                "streams": int(indices.size),
+                "SMB": round(mdps(total_items, total_seconds), 3),
+            }
+        )
+    return rows
+
+
+def query_throughput(
+    trace: SyntheticTrace | None = None,
+    memory_bits: int = 5_000,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+    sample_streams: int = 20,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Table IX: query throughput (queries/s) averaged over trace streams."""
+    trace = trace or default_trace(seed)
+    rng = np.random.default_rng(seed)
+    count = min(sample_streams, trace.num_streams)
+    sampled = rng.choice(trace.num_streams, size=count, replace=False)
+    out = {}
+    for name in estimators:
+        per_query = []
+        for index in sampled.tolist():
+            estimator = make_estimator(
+                name, memory_bits, TRACE_DESIGN_CARDINALITY, seed
+            )
+            estimator.record_many(trace.stream_items(index))
+            per_query.append(time_call(estimator.query, min_seconds=0.01))
+        out[name] = round(1.0 / float(np.mean(per_query)), 1)
+    return out
+
+
+def absolute_error_by_group(
+    trace: SyntheticTrace | None = None,
+    memories: Sequence[int] = CAIDA_MEMORIES,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+    split: int = 1_000,
+    max_small_streams: int = 500,
+    large_trials: int = 5,
+    seed: int = 0,
+) -> tuple[list[dict[str, object]], list[dict[str, object]]]:
+    """Tables X and Figure 9: average absolute error per memory budget.
+
+    Streams are split at ``split`` (the paper uses 1000): the small
+    group (Table X — every estimator is near-exact there) and the large
+    group (Figure 9 — where the estimators separate). Small streams are
+    subsampled to ``max_small_streams`` for speed; the large group is
+    always evaluated in full and additionally averaged over
+    ``large_trials`` estimator seeds, because a scaled-down trace has
+    far fewer large streams than the paper's 400k-stream original.
+    """
+    trace = trace or default_trace(seed)
+    rng = np.random.default_rng(seed + 1)
+    small = trace.streams_in_range(1, split)
+    if small.size > max_small_streams:
+        small = rng.choice(small, size=max_small_streams, replace=False)
+    large = trace.streams_in_range(split + 1)
+
+    def run(indices: np.ndarray, trials: int) -> list[dict[str, object]]:
+        streams = materialize_streams(trace, indices.tolist())
+        rows = []
+        for memory_bits in memories:
+            row: dict[str, object] = {"memory_bits": memory_bits}
+            for name in estimators:
+                errors = []
+                for index, items in streams.items():
+                    true = trace.stream_cardinality(index)
+                    for trial in range(trials):
+                        estimator = make_estimator(
+                            name, memory_bits, TRACE_DESIGN_CARDINALITY,
+                            seed + trial,
+                        )
+                        estimator.record_many(items)
+                        errors.append(abs(estimator.query() - true))
+                row[name] = float(np.mean(errors)) if errors else None
+            rows.append(row)
+        return rows
+
+    return run(small, 1), run(large, large_trials)

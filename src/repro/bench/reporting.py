@@ -1,0 +1,206 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The harness regenerates the paper's tables and figures as aligned text:
+tables print rows of formatted cells; figures print their data series
+(one row per x-value) so the curves can be eyeballed or piped into any
+plotting tool. :func:`ascii_chart` additionally renders a figure's
+series as a terminal line chart, and :func:`format_markdown` /
+:func:`format_csv` provide machine-friendly table formats.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import Iterable, Sequence
+
+
+def format_number(value: object) -> str:
+    """Human-friendly cell formatting for heterogeneous table values."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e6 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        if magnitude >= 100:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    str_rows = [[format_number(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render figure data: one column per named series."""
+    headers = [x_label, *series.keys()]
+    columns = list(series.values())
+    for name, column in series.items():
+        if len(column) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(column)} points, "
+                f"expected {len(x_values)}"
+            )
+    rows = [
+        [x, *(column[index] for column in columns)]
+        for index, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def format_markdown(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("|" + "|".join("---" for __ in headers) + "|")
+    for row in rows:
+        cells = [format_number(cell) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(headers)} columns"
+            )
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def format_csv(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a table as CSV text (raw values, no pretty formatting)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+_CHART_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render named series as a terminal line chart.
+
+    Each series gets a mark character; overlapping points show the
+    later series' mark. Intended for eyeballing the paper's figures
+    without a plotting stack.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if len(x_values) < 2:
+        raise ValueError("need at least two x values")
+
+    def x_map(value: float) -> float:
+        return math.log10(value) if log_x else float(value)
+
+    def y_map(value: float) -> float:
+        return math.log10(max(value, 1e-12)) if log_y else float(value)
+
+    xs = [x_map(x) for x in x_values]
+    all_y = [
+        y_map(y)
+        for column in series.values()
+        for y in column
+        if y is not None
+    ]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(all_y), max(all_y)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for __ in range(height)]
+    for mark_index, (name, column) in enumerate(series.items()):
+        mark = _CHART_MARKS[mark_index % len(_CHART_MARKS)]
+        if len(column) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(column)} points, "
+                f"expected {len(x_values)}"
+            )
+        for x, y in zip(xs, column):
+            if y is None:
+                continue
+            col = round((x - x_low) / x_span * (width - 1))
+            row = round((y_map(y) - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = format_number(
+        10 ** y_high if log_y else y_high
+    )
+    bottom_label = format_number(10 ** y_low if log_y else y_low)
+    label_width = max(len(top_label), len(bottom_label))
+    for index, row_chars in enumerate(grid):
+        if index == 0:
+            label = top_label.rjust(label_width)
+        elif index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row_chars)}")
+    x_left = format_number(x_values[0])
+    x_right = format_number(x_values[-1])
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    gap = width - len(x_left) - len(x_right)
+    lines.append(" " * (label_width + 2) + x_left + " " * max(1, gap) + x_right)
+    legend = "   ".join(
+        f"{_CHART_MARKS[i % len(_CHART_MARKS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Throughput experiments: Tables IV, V, VI and VII of the paper.
+
+Absolute numbers are Python/NumPy, not the paper's C++ testbed; the
+reproduced claims are the *shapes* (see DESIGN.md §4):
+
+- Table IV — SMB's recording throughput grows with stream cardinality
+  because Step 1 drops a growing fraction of arrivals before any memory
+  access, while the baselines stay flat;
+- Table V — FM/HLL++/HLL-TailC query time grows with memory (they scan
+  all registers) while MRB (k counters) and SMB (two counters) do not;
+- Table VI — SMB dominates query throughput at every cardinality;
+- Table VII — only MRB's query throughput depends on n (fewer counters
+  to sum once the base level rises).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.runner import (
+    PAPER_ESTIMATORS,
+    make_estimator,
+    mdps,
+    repro_scale,
+    time_call,
+    time_recording,
+)
+from repro.streams import distinct_items, stream_with_duplicates
+
+#: Default cardinality grid of Table IV (paper: 10^4 … 10^8). The top
+#: decade is scaled by REPRO_SCALE; at scale 1.0 the full grid runs.
+TABLE4_CARDINALITIES = (10_000, 100_000, 1_000_000, 10_000_000, 100_000_000)
+
+#: Memory budgets of Table V.
+TABLE5_MEMORIES = (10_000, 5_000, 2_500, 1_000)
+
+#: Cardinality grid of Tables VI/VII.
+TABLE6_CARDINALITIES = (10_000, 100_000, 1_000_000, 10_000_000)
+
+
+def _scaled(cardinalities: Sequence[int], cap_scale: float) -> list[int]:
+    cap = int(100_000_000 * cap_scale)
+    return [n for n in cardinalities if n <= max(cap, 10_000)]
+
+
+def recording_throughput_table(
+    memory_bits: int = 5_000,
+    cardinalities: Sequence[int] | None = None,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+    seed: int = 0,
+    path: str = "batch",
+) -> list[dict[str, object]]:
+    """Table IV: recording throughput (Mdps) per estimator and n.
+
+    Streams are distinct-item streams (duplicates cannot slow any of the
+    estimators down — they all hash every arrival — so distinct items
+    are the conservative workload).
+
+    ``path`` selects the execution path: ``"batch"`` (vectorized, the
+    default) or ``"scalar"`` (a per-item loop, the paper's deployment
+    model; the cardinality grid is capped because pure-Python loops are
+    ~50× slower).
+    """
+    if path not in ("batch", "scalar"):
+        raise ValueError(f"path must be 'batch' or 'scalar', got {path!r}")
+    grid = list(cardinalities or _scaled(TABLE4_CARDINALITIES, repro_scale(0.01)))
+    if path == "scalar":
+        grid = [min(n, 200_000) for n in grid]
+        grid = sorted(set(grid))
+    rows = []
+    for n in grid:
+        items = distinct_items(n, seed=seed + n % 97)
+        row: dict[str, object] = {"cardinality": n}
+        for name in estimators:
+            design = max(n, 1_000_000)
+            estimator = make_estimator(name, memory_bits, design, seed)
+            if path == "batch":
+                warmup = make_estimator(name, memory_bits, design, seed + 1)
+                seconds = time_recording(estimator, items, warmup=warmup)
+            else:
+                seconds = _time_scalar_recording(estimator, items)
+            row[name] = round(mdps(n, seconds), 3)
+        rows.append(row)
+    return rows
+
+
+def _time_scalar_recording(estimator, items) -> float:
+    import time
+
+    pairs = items.tolist()
+    start = time.perf_counter()
+    record = estimator.record
+    for item in pairs:
+        record(item)
+    return time.perf_counter() - start
+
+
+def query_throughput_vs_memory(
+    memories: Sequence[int] = TABLE5_MEMORIES,
+    cardinality: int = 100_000,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Table V: query throughput (queries/s) per estimator and memory."""
+    items = distinct_items(cardinality, seed=seed + 1)
+    rows = []
+    for memory_bits in memories:
+        row: dict[str, object] = {"memory_bits": memory_bits}
+        for name in estimators:
+            estimator = make_estimator(name, memory_bits, 1_000_000, seed)
+            estimator.record_many(items)
+            seconds = time_call(estimator.query)
+            row[name] = round(1.0 / seconds, 1)
+        rows.append(row)
+    return rows
+
+
+def query_throughput_vs_cardinality(
+    memory_bits: int = 5_000,
+    cardinalities: Sequence[int] | None = None,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Tables VI/VII: query throughput per estimator and cardinality."""
+    grid = cardinalities or _scaled(TABLE6_CARDINALITIES, repro_scale(0.1))
+    rows = []
+    for n in grid:
+        items = distinct_items(n, seed=seed + 2)
+        row: dict[str, object] = {"cardinality": n}
+        for name in estimators:
+            estimator = make_estimator(name, memory_bits, 1_000_000, seed)
+            estimator.record_many(items)
+            seconds = time_call(estimator.query)
+            row[name] = round(1.0 / seconds, 1)
+        rows.append(row)
+    return rows
+
+
+def recording_throughput_online(
+    memory_bits: int = 5_000,
+    cardinality: int = 1_000_000,
+    length_factor: float = 1.5,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Single-stream throughput on a duplicated (realistic) stream.
+
+    Complements Table IV with a workload where items repeat, matching
+    the paper's setup where the recorded stream contains duplicates.
+    """
+    stream = stream_with_duplicates(
+        cardinality, int(cardinality * length_factor), seed=seed + 3
+    )
+    out = {}
+    for name in estimators:
+        estimator = make_estimator(name, memory_bits, cardinality, seed)
+        seconds = time_recording(estimator, stream)
+        out[name] = round(mdps(stream.size, seconds), 3)
+    return out

@@ -1,0 +1,162 @@
+"""Packed bit-vector substrate used by the bitmap-family estimators.
+
+Bits are packed into ``uint64`` words. The number of one bits is
+maintained incrementally for O(1) ``ones`` queries on the scalar path;
+batch updates recompute the popcount of the word array, which is a cheap
+vectorized pass (a 10^6-bit vector is ~16k words).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+_WORD_BITS = 64
+_U64_6 = np.uint64(6)
+_U64_63 = np.uint64(63)
+_U64_ONE = np.uint64(1)
+
+_HEADER = struct.Struct("<QQ")  # nbits, ones
+
+
+class BitVector:
+    """A fixed-size vector of bits with batch update support.
+
+    Parameters
+    ----------
+    nbits:
+        Number of addressable bits; must be positive.
+    """
+
+    __slots__ = ("_nbits", "_words", "_ones")
+
+    def __init__(self, nbits: int) -> None:
+        if nbits <= 0:
+            raise ValueError(f"nbits must be positive, got {nbits}")
+        self._nbits = int(nbits)
+        nwords = (self._nbits + _WORD_BITS - 1) // _WORD_BITS
+        self._words = np.zeros(nwords, dtype=np.uint64)
+        self._ones = 0
+
+    def __len__(self) -> int:
+        return self._nbits
+
+    @property
+    def ones(self) -> int:
+        """Number of bits currently set to one."""
+        return self._ones
+
+    @property
+    def zeros(self) -> int:
+        """Number of bits currently zero."""
+        return self._nbits - self._ones
+
+    @property
+    def words(self) -> np.ndarray:
+        """The underlying word array (read-only view)."""
+        view = self._words.view()
+        view.flags.writeable = False
+        return view
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._nbits:
+            raise IndexError(
+                f"bit index {index} out of range for {self._nbits}-bit vector"
+            )
+
+    def get(self, index: int) -> bool:
+        """Return the value of bit ``index``."""
+        self._check_index(index)
+        word, bit = divmod(index, _WORD_BITS)
+        return bool((int(self._words[word]) >> bit) & 1)
+
+    def set(self, index: int) -> bool:
+        """Set bit ``index`` to one; return True if it was newly set."""
+        self._check_index(index)
+        word, bit = divmod(index, _WORD_BITS)
+        current = int(self._words[word])
+        mask = 1 << bit
+        if current & mask:
+            return False
+        self._words[word] = current | mask
+        self._ones += 1
+        return True
+
+    def test_many(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized bit test; returns a boolean array."""
+        idx = indices.astype(np.uint64, copy=False)
+        return ((self._words[idx >> _U64_6] >> (idx & _U64_63)) & _U64_ONE).astype(bool)
+
+    def count_new(self, indices: np.ndarray) -> int:
+        """How many *new* bits would be set by ``set_many(indices)``.
+
+        Deduplicates repeated positions within the batch and skips
+        positions already set. Does not modify the vector.
+        """
+        if indices.size == 0:
+            return 0
+        unique = np.unique(indices.astype(np.uint64, copy=False))
+        return int(np.count_nonzero(~self.test_many(unique)))
+
+    def set_many(self, indices: np.ndarray) -> int:
+        """Set all bits at ``indices``; return how many were newly set."""
+        if indices.size == 0:
+            return 0
+        idx = indices.astype(np.uint64, copy=False)
+        np.bitwise_or.at(self._words, idx >> _U64_6, _U64_ONE << (idx & _U64_63))
+        new_ones = int(np.bitwise_count(self._words).sum())
+        newly_set = new_ones - self._ones
+        self._ones = new_ones
+        return newly_set
+
+    def clear(self) -> None:
+        """Reset every bit to zero."""
+        self._words[:] = 0
+        self._ones = 0
+
+    def or_update(self, other: "BitVector") -> None:
+        """In-place union with another vector of the same size."""
+        if len(other) != self._nbits:
+            raise ValueError(
+                f"cannot OR a {len(other)}-bit vector into a "
+                f"{self._nbits}-bit vector"
+            )
+        np.bitwise_or(self._words, other._words, out=self._words)
+        self._ones = int(np.bitwise_count(self._words).sum())
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a compact byte string."""
+        return _HEADER.pack(self._nbits, self._ones) + self._words.tobytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BitVector":
+        """Deserialize a vector produced by :meth:`to_bytes`."""
+        nbits, ones = _HEADER.unpack_from(data)
+        vec = cls(nbits)
+        words = np.frombuffer(data[_HEADER.size:], dtype=np.uint64)
+        if words.size != vec._words.size:
+            raise ValueError("corrupt BitVector payload: word count mismatch")
+        vec._words = words.copy()
+        actual = int(np.bitwise_count(vec._words).sum())
+        if actual != ones:
+            raise ValueError("corrupt BitVector payload: popcount mismatch")
+        vec._ones = ones
+        return vec
+
+    def copy(self) -> "BitVector":
+        """Return an independent copy."""
+        dup = BitVector(self._nbits)
+        dup._words = self._words.copy()
+        dup._ones = self._ones
+        return dup
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._nbits == other._nbits and bool(
+            np.array_equal(self._words, other._words)
+        )
+
+    def __repr__(self) -> str:
+        return f"BitVector(nbits={self._nbits}, ones={self._ones})"

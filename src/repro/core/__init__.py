@@ -1,0 +1,1 @@
+"""Core package: the paper's contribution (SMB) plus theory and tuning."""

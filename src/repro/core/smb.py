@@ -1,0 +1,327 @@
+"""The Self-Morphing Bitmap (SMB) — the paper's contribution (§III).
+
+SMB keeps a single physical bitmap of ``m`` bits. Recording proceeds in
+*rounds* indexed by ``r`` (starting at 0); round ``r`` samples items
+with probability ``p_r = 2^-r`` via the geometric hash (Step 1 of
+Algorithm 1: keep item ``d`` iff ``G(d) >= r``). A counter ``v`` tracks
+the bits newly set in the current round; when ``v`` reaches the
+threshold ``T`` the bitmap *morphs*: the round index advances (halving
+the sampling probability) and the bits set so far are conceptually
+removed, leaving a logical bitmap ``L_r`` of ``m_r = m - r·T`` bits.
+
+Morphing is free: the physical array never changes. The estimate for
+each completed round is a constant, accumulated in the precomputed
+prefix array ``S`` (eq. (9)):
+
+    S[r] = Σ_{i=0}^{r-1} -2^i · m · ln(1 - T / m_i)
+
+so a query reads just two counters (eq. (11), Algorithm 2):
+
+    n̂ = S[r] - 2^r · m · ln(1 - v / m_r)
+
+Properties proved in the paper and enforced by tests here:
+
+- Lemma 1  — round ``i`` samples with probability exactly ``2^-i``;
+- Theorem 2 — duplicates never alter the state (first appearance wins);
+- the maximum estimate exceeds MRB's at equal memory (§III-B).
+
+The batch path ``record_many`` is bit-for-bit equivalent to sequential
+``record`` calls: chunks that would cross the round threshold fall back
+to per-item processing (a crossing happens at most ``m/T`` times in an
+estimator's lifetime, so the amortized cost is negligible).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import numpy as np
+
+from repro.bitvector import BitVector
+from repro.estimators.base import CardinalityEstimator
+from repro.hashing import GeometricHash, UniformHash
+
+_HEADER = struct.Struct("<4sQQQQQ")  # magic, m, T, seed, r, v
+_MAGIC = b"SMB1"
+
+#: Chunk size of the batch recording path. Large enough to amortize the
+#: vectorized hashing, small enough that the per-item fallback on a
+#: round crossing stays cheap.
+BATCH_CHUNK = 8192
+
+
+def round_constants(memory_bits: int, threshold: int) -> np.ndarray:
+    """The paper's S array (eq. (9)) for an (m, T) configuration.
+
+    ``S[r]`` is the cumulative estimate of the first ``r`` completed
+    rounds. Every round ``i`` with ``m_i = m - i·T > T`` completes with
+    a finite per-round estimate; the final supported round (``m_i ==
+    T``) would fill the bitmap completely, so its completion marks
+    saturation and ``S[m//T]`` is infinite.
+    """
+    m, t = int(memory_bits), int(threshold)
+    max_rounds = m // t
+    s = np.zeros(max_rounds + 1, dtype=np.float64)
+    for i in range(max_rounds):
+        m_i = m - i * t
+        if m_i > t:
+            term = -math.ldexp(m, i) * math.log(1.0 - t / m_i)
+        else:  # m_i == t: completing this round saturates the bitmap
+            term = math.inf
+        s[i + 1] = s[i] + term
+    return s
+
+
+class SelfMorphingBitmap(CardinalityEstimator):
+    """Self-morphing bitmap estimator (see module docstring).
+
+    Parameters
+    ----------
+    memory_bits:
+        Size ``m`` of the physical bitmap.
+    threshold:
+        Round-advance threshold ``T``; when omitted, the optimal value
+        for ``design_cardinality`` is computed per §IV-B of the paper.
+    design_cardinality:
+        The largest stream cardinality the estimator is provisioned
+        for; only used to choose ``T`` when ``threshold`` is None.
+    seed:
+        Seed for the geometric (sampling) and uniform (position) hashes.
+    """
+
+    name = "SMB"
+
+    def __init__(
+        self,
+        memory_bits: int,
+        threshold: int | None = None,
+        design_cardinality: int = 1_000_000,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if memory_bits < 4:
+            raise ValueError(f"memory_bits must be >= 4, got {memory_bits}")
+        self.m = int(memory_bits)
+        if threshold is None:
+            from repro.core.tuning import optimal_threshold
+
+            threshold = optimal_threshold(self.m, design_cardinality)
+        if not 1 <= threshold <= self.m // 2:
+            raise ValueError(
+                f"threshold must be in [1, m/2] = [1, {self.m // 2}], "
+                f"got {threshold}"
+            )
+        self.T = int(threshold)
+        self.seed = int(seed)
+        self.r = 0  # round index
+        self.v = 0  # bits newly set in the current round
+        self._bits = BitVector(self.m)
+        self._geometric_hash = GeometricHash(seed)
+        self._position_hash = UniformHash(seed + 0x504F53)
+        self._s = round_constants(self.m, self.T)
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+    @property
+    def max_rounds(self) -> int:
+        """Number of rounds the configuration supports (m // T)."""
+        return self.m // self.T
+
+    @property
+    def sampling_probability(self) -> float:
+        """The current round's sampling probability p_r = 2^-r."""
+        return math.ldexp(1.0, -self.r)
+
+    @property
+    def logical_bits(self) -> int:
+        """Size m_r of the current logical bitmap."""
+        return self.m - self.r * self.T
+
+    @property
+    def round_prefix(self) -> np.ndarray:
+        """The precomputed S array (read-only)."""
+        view = self._s.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def saturated(self) -> bool:
+        """True once every physical bit is one (estimate clamps).
+
+        The invariant ``ones == r·T + v`` of Algorithm 1 makes this a
+        pure counter check. When ``m % T != 0`` the last round is a
+        partial one of ``m mod T`` logical bits that can never complete;
+        saturation there means ``v`` has consumed all of them.
+        """
+        return self.r * self.T + self.v >= self.m
+
+    # ------------------------------------------------------------------
+    # Recording (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _record_u64(self, value: int) -> None:
+        self.hash_ops += 1
+        if self._geometric_hash.value_u64(value) < self.r:
+            return  # Step 1: not sampled this round
+        self.hash_ops += 1
+        self.bits_accessed += 1
+        position = self._position_hash.hash_u64(value) % self.m
+        if self._bits.set(position):  # Step 2
+            self.v += 1
+            if self.v >= self.T:  # Step 3: morph
+                self.r += 1
+                self.v = 0
+
+    def _chunk_size(self) -> int:
+        """Adaptive batch chunk: small near a round boundary.
+
+        Crossing a round boundary forces the tail of the current chunk
+        to be reprocessed, so the chunk is sized to roughly twice the
+        expected number of arrivals until the next morph (new-bit rate
+        = p_r · zeros/m per arrival), clamped to [MIN, BATCH_CHUNK].
+        """
+        zeros = self._bits.zeros
+        if zeros <= 0:
+            return BATCH_CHUNK
+        remaining = self.T - self.v
+        expected = 2.0 * remaining * (self.m / zeros) * math.ldexp(1.0, self.r)
+        return max(1024, min(BATCH_CHUNK, int(expected)))
+
+    def _record_batch(self, values: np.ndarray) -> None:
+        m_u64 = np.uint64(self.m)
+        start = 0
+        while start < values.size:
+            chunk = values[start:start + self._chunk_size()]
+            if self.r == 0:
+                # Round 0 samples everything: the Step-1 comparison
+                # G(d) >= 0 is vacuous, so skip computing it (the hash
+                # op is still billed — the algorithm specifies it).
+                sampled_idx = np.arange(chunk.size)
+                sampled = chunk
+            else:
+                levels = self._geometric_hash.value_array(chunk)
+                sampled_idx = np.flatnonzero(levels >= self.r)
+                if sampled_idx.size == 0:
+                    self.hash_ops += chunk.size
+                    start += chunk.size
+                    continue
+                sampled = chunk[sampled_idx]
+            positions = self._position_hash.hash_array(sampled) % m_u64
+            if self.v + sampled_idx.size < self.T:
+                # Even if every sampled arrival set a new bit the round
+                # could not end: apply directly, no dedup pass needed.
+                self.v += self._bits.set_many(positions)
+                self.hash_ops += chunk.size + sampled_idx.size
+                self.bits_accessed += sampled_idx.size
+                start += chunk.size
+                continue
+            # First occurrence of each position within the chunk decides
+            # whether that arrival sets a new bit, exactly as in the
+            # sequential semantics (order among *distinct* positions
+            # cannot matter while the round is fixed).
+            unique, first_idx = np.unique(positions, return_index=True)
+            new_first = first_idx[~self._bits.test_many(unique)]
+            need = self.T - self.v
+            if new_first.size < need:
+                # The whole chunk stays inside the current round.
+                self._bits.set_many(unique)
+                self.v += new_first.size
+                self.hash_ops += chunk.size + sampled_idx.size
+                self.bits_accessed += sampled_idx.size
+                start += chunk.size
+            else:
+                # The round threshold is crossed at the `need`-th new
+                # bit. Consume the chunk exactly up to and including the
+                # crossing arrival, morph, and reprocess the remainder
+                # under the advanced round (new Step-1 filter).
+                cut = int(np.sort(new_first)[need - 1])
+                self._bits.set_many(positions[:cut + 1])
+                self.r += 1
+                self.v = 0
+                consumed = int(sampled_idx[cut]) + 1
+                self.hash_ops += consumed + cut + 1
+                self.bits_accessed += cut + 1
+                start += consumed
+
+    # ------------------------------------------------------------------
+    # Querying (Algorithm 2)
+    # ------------------------------------------------------------------
+    def query(self) -> float:
+        self.bits_accessed += 32  # the paper's accounting: read r and v
+        if self.saturated:
+            return self.max_estimate()
+        m_r = self.logical_bits
+        return float(self._s[self.r]) - math.ldexp(self.m, self.r) * math.log(
+            1.0 - self.v / m_r
+        )
+
+    def estimate_at(self, r: int, v: int) -> float:
+        """The estimate Algorithm 2 would return for counters (r, v).
+
+        Exposed for the theory module (Theorem 3 needs the inverse map
+        from target estimates back to counter values) and for tests.
+        """
+        if not 0 <= r < len(self._s):
+            raise ValueError(f"round {r} out of range for this configuration")
+        m_r = self.m - r * self.T
+        if not 0 <= v < m_r:
+            raise ValueError(f"v={v} out of range for round {r} (m_r={m_r})")
+        return float(self._s[r]) - math.ldexp(self.m, r) * math.log(1.0 - v / m_r)
+
+    def max_estimate(self) -> float:
+        """Largest finite estimate (§III-B): the last round one bit short.
+
+        With ``m`` divisible by ``T`` this is the paper's ``r = m/T - 1``,
+        ``v = T - 1`` configuration, which exceeds MRB's maximum at equal
+        memory when component sizes match (2^{k-1}·m·ln T  vs
+        2^{k-1}·(m/k)·ln(m/k)). Otherwise the last (partial) round of
+        ``m mod T`` logical bits extends the range one sampling level
+        further.
+        """
+        last = self.max_rounds - 1 if self.m % self.T == 0 else self.max_rounds
+        m_last = self.m - last * self.T
+        return float(self._s[last]) + math.ldexp(self.m, last) * math.log(m_last)
+
+    def memory_bits(self) -> int:
+        # The paper's accounting: the m-bit array plus the r and v
+        # counters, which need 6 + 26 bits (§III-B).
+        return self.m + 32
+
+    # ------------------------------------------------------------------
+    # Capabilities
+    # ------------------------------------------------------------------
+    def merge(self, other: CardinalityEstimator) -> None:
+        raise NotImplementedError(
+            "SelfMorphingBitmap cannot merge: the morphing schedule depends "
+            "on arrival order, so two SMBs' logical bitmaps are not aligned. "
+            "Use HyperLogLog/MRB when distributed merging is required."
+        )
+
+    def to_bytes(self) -> bytes:
+        header = _HEADER.pack(_MAGIC, self.m, self.T, self.seed, self.r, self.v)
+        return header + self._bits.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SelfMorphingBitmap":
+        magic, m, t, seed, r, v = _HEADER.unpack_from(data)
+        if magic != _MAGIC:
+            raise ValueError("not a serialized SelfMorphingBitmap")
+        smb = cls(m, threshold=t, seed=seed)
+        smb.r = r
+        smb.v = v
+        smb._bits = BitVector.from_bytes(data[_HEADER.size:])
+        if len(smb._bits) != m:
+            raise ValueError("corrupt SelfMorphingBitmap payload: size mismatch")
+        if smb._bits.ones != r * t + v:
+            # ones == r*T + v is an invariant of Algorithm 1.
+            raise ValueError(
+                "corrupt SelfMorphingBitmap payload: ones != r*T + v"
+            )
+        return smb
+
+    def __repr__(self) -> str:
+        return (
+            f"SelfMorphingBitmap(m={self.m}, T={self.T}, r={self.r}, "
+            f"v={self.v}, p={self.sampling_probability})"
+        )

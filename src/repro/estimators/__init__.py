@@ -1,0 +1,46 @@
+"""Cardinality estimators: every baseline the paper evaluates.
+
+The paper's own contribution, :class:`~repro.core.smb.SelfMorphingBitmap`,
+lives in :mod:`repro.core`; this package provides the prior art it is
+compared against (§II-B) plus an exact counter for ground truth.
+"""
+
+from repro.estimators.adaptive_bitmap import AdaptiveBitmap
+from repro.estimators.base import CardinalityEstimator
+from repro.estimators.bitmap import Bitmap
+from repro.estimators.exact import ExactCounter
+from repro.estimators.fm import FMSketch
+from repro.estimators.hll import HyperLogLog, HyperLogLogPlusPlus
+from repro.estimators.hll_tailcut import HyperLogLogTailCut
+from repro.estimators.hll_tailcut_plus import HyperLogLogTailCutPlus
+from repro.estimators.kmv import KMinValues
+from repro.estimators.loglog import LogLog, SuperLogLog
+from repro.estimators.mrb import MultiResolutionBitmap
+from repro.estimators.refined_hll import RefinedHyperLogLog
+from repro.estimators.setops import (
+    clone,
+    intersection_cardinality,
+    jaccard_similarity,
+    union_cardinality,
+)
+
+__all__ = [
+    "AdaptiveBitmap",
+    "Bitmap",
+    "CardinalityEstimator",
+    "ExactCounter",
+    "FMSketch",
+    "HyperLogLog",
+    "HyperLogLogPlusPlus",
+    "HyperLogLogTailCut",
+    "HyperLogLogTailCutPlus",
+    "KMinValues",
+    "LogLog",
+    "MultiResolutionBitmap",
+    "RefinedHyperLogLog",
+    "SuperLogLog",
+    "clone",
+    "intersection_cardinality",
+    "jaccard_similarity",
+    "union_cardinality",
+]

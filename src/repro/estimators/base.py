@@ -1,0 +1,112 @@
+"""Common interface for all cardinality estimators.
+
+Every estimator in this library implements :class:`CardinalityEstimator`:
+
+- ``record(item)`` — scalar recording path (one item);
+- ``record_many(items)`` — batch recording path, *bit-for-bit equivalent*
+  to calling ``record`` in a loop (a hypothesis property test asserts
+  this for every estimator);
+- ``query()`` — produce the cardinality estimate without mutating state;
+- ``memory_bits()`` — the memory footprint the paper's `m` refers to
+  (the recording data structure, not Python object overhead);
+- instrumentation counters ``hash_ops`` and ``bits_accessed`` that let
+  the Table I experiment *measure* recording/query overhead instead of
+  copying the paper's analytic table.
+
+Items may be ``int``, ``str`` or ``bytes``; batch paths accept any
+iterable, with a zero-copy fast path for ``numpy`` ``uint64`` arrays.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+import numpy as np
+
+from repro.hashing import canonical_u64, canonical_u64_array
+
+
+class CardinalityEstimator(ABC):
+    """Abstract base class of all estimators (see module docstring)."""
+
+    #: Short display name used by the experiment harness tables.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.hash_ops = 0
+        self.bits_accessed = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, item: object) -> None:
+        """Record one item (scalar path)."""
+        self._record_u64(canonical_u64(item))
+
+    def record_many(self, items: Iterable[object] | np.ndarray) -> None:
+        """Record a batch of items (vectorized where the subclass can).
+
+        Semantically identical to ``for item in items: self.record(item)``.
+        """
+        values = canonical_u64_array(items)
+        if values.size:
+            self._record_batch(values)
+
+    @abstractmethod
+    def _record_u64(self, value: int) -> None:
+        """Record one canonicalized uint64 value."""
+
+    def _record_batch(self, values: np.ndarray) -> None:
+        """Record a uint64 array; default falls back to the scalar path."""
+        for value in values.tolist():
+            self._record_u64(value)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def query(self) -> float:
+        """Estimate the number of distinct items recorded so far."""
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def memory_bits(self) -> int:
+        """Memory footprint of the recording structure in bits."""
+
+    def reset_counters(self) -> None:
+        """Zero the instrumentation counters."""
+        self.hash_ops = 0
+        self.bits_accessed = 0
+
+    # ------------------------------------------------------------------
+    # Optional capabilities
+    # ------------------------------------------------------------------
+    def merge(self, other: "CardinalityEstimator") -> None:
+        """In-place merge with a compatible estimator, when supported.
+
+        Merging two estimators must yield the estimator of the union
+        stream. Subclasses that cannot support this raise
+        ``NotImplementedError`` (notably SMB: its sampling schedule
+        depends on arrival order, so lossless merging is impossible).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support merging"
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize the estimator state, when supported."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support serialization"
+        )
+
+    def _check_mergeable(self, other: "CardinalityEstimator") -> None:
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(memory_bits={self.memory_bits()})"

@@ -1,0 +1,135 @@
+"""Plain bitmap (linear counting) estimator, eq. (1) of the paper.
+
+An array of ``m`` bits; item ``d`` sets bit ``H(d) mod m``. The estimate
+is ``n̂ = -m ln(1 - U/m)`` where ``U`` is the number of one bits
+(Whang et al. 1990). Supports an optional fixed sampling probability,
+which is how the Adaptive Bitmap of §II-C uses it: items are sampled
+with probability ``p`` (decided by an independent hash, so duplicates
+are sampled consistently) and the estimate is scaled by ``1/p``.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import numpy as np
+
+from repro.bitvector import BitVector
+from repro.estimators.base import CardinalityEstimator
+from repro.hashing import MASK64, UniformHash
+
+_HEADER = struct.Struct("<4sQQdQ")  # magic, memory_bits, seed, p, reserved
+_MAGIC = b"BMP1"
+
+
+class Bitmap(CardinalityEstimator):
+    """Linear-counting bitmap estimator.
+
+    Parameters
+    ----------
+    memory_bits:
+        Size ``m`` of the bit array; must be at least 2.
+    seed:
+        Seed of the position hash ``H``.
+    sampling_probability:
+        Optional fixed sampling probability ``p`` in (0, 1]; items are
+        consistently sampled by an independent hash so repeats of the
+        same item always make the same sampling decision.
+    """
+
+    name = "Bitmap"
+
+    def __init__(
+        self,
+        memory_bits: int,
+        seed: int = 0,
+        sampling_probability: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if memory_bits < 2:
+            raise ValueError(f"memory_bits must be >= 2, got {memory_bits}")
+        if not 0 < sampling_probability <= 1:
+            raise ValueError(
+                f"sampling_probability must be in (0, 1], got {sampling_probability}"
+            )
+        self.m = int(memory_bits)
+        self.seed = int(seed)
+        self.p = float(sampling_probability)
+        self._bits = BitVector(self.m)
+        self._position_hash = UniformHash(seed)
+        self._sample_hash = UniformHash(seed + 0x53414D50)  # "SAMP" offset
+        # Sampling threshold over the 64-bit hash range.
+        self._sample_threshold = int(self.p * (MASK64 + 1))
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _record_u64(self, value: int) -> None:
+        if self.p < 1.0:
+            self.hash_ops += 1
+            if self._sample_hash.hash_u64(value) >= self._sample_threshold:
+                return
+        self.hash_ops += 1
+        self.bits_accessed += 1
+        self._bits.set(self._position_hash.hash_u64(value) % self.m)
+
+    def _record_batch(self, values: np.ndarray) -> None:
+        if self.p < 1.0:
+            self.hash_ops += values.size
+            sampled = self._sample_hash.hash_array(values)
+            values = values[sampled < np.uint64(self._sample_threshold)]
+            if values.size == 0:
+                return
+        self.hash_ops += values.size
+        self.bits_accessed += values.size
+        positions = self._position_hash.hash_array(values) % np.uint64(self.m)
+        self._bits.set_many(positions)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    @property
+    def ones(self) -> int:
+        """Number of bits set (the paper's U)."""
+        return self._bits.ones
+
+    def query(self) -> float:
+        self.bits_accessed += 64  # read the maintained ones counter
+        ones = self._bits.ones
+        if ones >= self.m:
+            # Saturated: the estimator's maximum useful estimate.
+            return self.max_estimate() / self.p
+        return -self.m * math.log(1.0 - ones / self.m) / self.p
+
+    def max_estimate(self) -> float:
+        """Largest estimate the bitmap can produce (U = m - 1): m ln m."""
+        return self.m * math.log(self.m)
+
+    def memory_bits(self) -> int:
+        return self.m
+
+    # ------------------------------------------------------------------
+    # Capabilities
+    # ------------------------------------------------------------------
+    def merge(self, other: CardinalityEstimator) -> None:
+        self._check_mergeable(other)
+        assert isinstance(other, Bitmap)
+        if (other.m, other.seed, other.p) != (self.m, self.seed, self.p):
+            raise ValueError("can only merge Bitmaps with identical parameters")
+        self._bits.or_update(other._bits)
+
+    def to_bytes(self) -> bytes:
+        header = _HEADER.pack(_MAGIC, self.m, self.seed, self.p, 0)
+        return header + self._bits.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Bitmap":
+        magic, m, seed, p, __ = _HEADER.unpack_from(data)
+        if magic != _MAGIC:
+            raise ValueError("not a serialized Bitmap")
+        bitmap = cls(m, seed=seed, sampling_probability=p)
+        bitmap._bits = BitVector.from_bytes(data[_HEADER.size:])
+        if len(bitmap._bits) != m:
+            raise ValueError("corrupt Bitmap payload: size mismatch")
+        return bitmap

@@ -1,0 +1,47 @@
+"""Exact distinct counter — ground truth for experiments and tests.
+
+Keeps a hash set of canonicalized items. Memory is linear in the
+cardinality, which is exactly the cost the approximate estimators avoid
+(§I of the paper); it exists to provide the true ``n`` in accuracy
+experiments and as an oracle in property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.estimators.base import CardinalityEstimator
+
+
+class ExactCounter(CardinalityEstimator):
+    """Exact cardinality via a set of canonical uint64 values."""
+
+    name = "Exact"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._seen: set[int] = set()
+
+    def _record_u64(self, value: int) -> None:
+        self.bits_accessed += 64
+        self._seen.add(value)
+
+    def _record_batch(self, values: np.ndarray) -> None:
+        self.bits_accessed += 64 * values.size
+        self._seen.update(np.unique(values).tolist())
+
+    def query(self) -> float:
+        return float(len(self._seen))
+
+    def memory_bits(self) -> int:
+        return 64 * len(self._seen)
+
+    def merge(self, other: CardinalityEstimator) -> None:
+        self._check_mergeable(other)
+        assert isinstance(other, ExactCounter)
+        self._seen |= other._seen
+
+    def __contains__(self, item: object) -> bool:
+        from repro.hashing import canonical_u64
+
+        return canonical_u64(item) in self._seen

@@ -1,0 +1,168 @@
+"""K-Minimum-Values (KMV / MinCount / AKMV) estimator.
+
+The first category of estimators in §II-B of the paper: hash every item
+uniformly to (0, 1), keep the ``k`` smallest *distinct* hash values, and
+estimate from the k-th smallest value ``U_(k)``:
+
+    n̂ = (k - 1) / U_(k)
+
+(Bar-Yossef et al. 2002; Beyer et al.'s unbiased AKMV estimator). When
+fewer than ``k`` distinct hashes have been seen the count is exact.
+
+Beyond plain estimation the KMV synopsis supports set operations, which
+the other estimators cannot: :meth:`union` and :meth:`jaccard` implement
+the AKMV combination rules.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+
+import numpy as np
+
+from repro.estimators.base import CardinalityEstimator
+from repro.hashing import UniformHash
+
+_HEADER = struct.Struct("<4sQQQ")
+_MAGIC = b"KMV1"
+
+#: Hash values are mapped to (0, 1] by dividing by 2^64.
+_SCALE = float(1 << 64)
+
+
+class KMinValues(CardinalityEstimator):
+    """KMV estimator (see module docstring).
+
+    Parameters
+    ----------
+    k:
+        Number of minimum hash values retained; at least 2.
+    seed:
+        Seed of the uniform hash.
+    """
+
+    name = "KMV"
+
+    def __init__(self, k: int, seed: int = 0) -> None:
+        super().__init__()
+        if k < 2:
+            raise ValueError(f"k must be >= 2, got {k}")
+        self.k = int(k)
+        self.seed = int(seed)
+        self._hash = UniformHash(seed)
+        # Max-heap (negated values) of the k smallest distinct hashes.
+        self._heap: list[int] = []
+        self._members: set[int] = set()
+
+    @classmethod
+    def for_memory(cls, memory_bits: int, seed: int = 0) -> "KMinValues":
+        """Size ``k`` to fit a ``memory_bits`` budget (64 bits per value)."""
+        k = memory_bits // 64
+        if k < 2:
+            raise ValueError(
+                f"memory_bits={memory_bits} is too small for KMV (needs >= 128)"
+            )
+        return cls(k, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _record_u64(self, value: int) -> None:
+        self.hash_ops += 1
+        self.bits_accessed += 64
+        hashed = self._hash.hash_u64(value)
+        if hashed in self._members:
+            return
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, -hashed)
+            self._members.add(hashed)
+        elif hashed < -self._heap[0]:
+            evicted = -heapq.heappushpop(self._heap, -hashed)
+            self._members.discard(evicted)
+            self._members.add(hashed)
+
+    def _record_batch(self, values: np.ndarray) -> None:
+        self.hash_ops += values.size
+        self.bits_accessed += 64 * values.size
+        hashes = np.unique(self._hash.hash_array(values))
+        # Only the k smallest of the batch can matter.
+        if hashes.size > self.k:
+            hashes = hashes[: self.k]
+        for hashed in hashes.tolist():
+            if hashed in self._members:
+                continue
+            if len(self._heap) < self.k:
+                heapq.heappush(self._heap, -hashed)
+                self._members.add(hashed)
+            elif hashed < -self._heap[0]:
+                evicted = -heapq.heappushpop(self._heap, -hashed)
+                self._members.discard(evicted)
+                self._members.add(hashed)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def query(self) -> float:
+        self.bits_accessed += 64
+        if len(self._heap) < self.k:
+            return float(len(self._heap))
+        kth_smallest = (-self._heap[0] + 1) / _SCALE  # +1 maps to (0, 1]
+        return (self.k - 1) / kth_smallest
+
+    def memory_bits(self) -> int:
+        return self.k * 64
+
+    # ------------------------------------------------------------------
+    # Set operations (AKMV)
+    # ------------------------------------------------------------------
+    def values(self) -> list[int]:
+        """The retained hash values, ascending."""
+        return sorted(-v for v in self._heap)
+
+    def merge(self, other: CardinalityEstimator) -> None:
+        self._check_mergeable(other)
+        assert isinstance(other, KMinValues)
+        if (other.k, other.seed) != (self.k, self.seed):
+            raise ValueError("can only merge KMV sketches with identical parameters")
+        combined = sorted(set(self.values()) | set(other.values()))[: self.k]
+        self._heap = [-v for v in combined]
+        heapq.heapify(self._heap)
+        self._members = set(combined)
+
+    def union(self, other: "KMinValues") -> "KMinValues":
+        """The KMV synopsis of the union of both streams."""
+        out = KMinValues(self.k, seed=self.seed)
+        out.merge(self)
+        out.merge(other)
+        return out
+
+    def jaccard(self, other: "KMinValues") -> float:
+        """AKMV Jaccard similarity estimate between the two streams."""
+        if (other.k, other.seed) != (self.k, self.seed):
+            raise ValueError("KMV sketches must share k and seed")
+        mine, theirs = set(self.values()), set(other.values())
+        union_k = sorted(mine | theirs)[: self.k]
+        if not union_k:
+            return 0.0
+        overlap = sum(1 for v in union_k if v in mine and v in theirs)
+        return overlap / len(union_k)
+
+    def to_bytes(self) -> bytes:
+        values = self.values()
+        header = _HEADER.pack(_MAGIC, self.k, self.seed, len(values))
+        return header + np.asarray(values, dtype=np.uint64).tobytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "KMinValues":
+        magic, k, seed, count = _HEADER.unpack_from(data)
+        if magic != _MAGIC:
+            raise ValueError("not a serialized KMinValues")
+        sketch = cls(k, seed=seed)
+        values = np.frombuffer(data[_HEADER.size:], dtype=np.uint64)
+        if values.size != count:
+            raise ValueError("corrupt payload: value count mismatch")
+        sketch._heap = [-int(v) for v in values]
+        heapq.heapify(sketch._heap)
+        sketch._members = {int(v) for v in values}
+        return sketch

@@ -1,0 +1,63 @@
+"""Set operations over mergeable estimators.
+
+Mergeable estimators (Bitmap, MRB, FM, the LogLog family, HLL, KMV)
+support union natively; this module adds the derived operations a
+downstream user reaches for:
+
+- :func:`union_cardinality` — |A ∪ B| from two sketches;
+- :func:`intersection_cardinality` — |A ∩ B| by inclusion–exclusion
+  (``|A| + |B| − |A ∪ B|``), with the usual caveat that its *relative*
+  error blows up for small intersections of large sets;
+- :func:`jaccard_similarity` — |A ∩ B| / |A ∪ B| (KMV sketches use
+  their exact AKMV formula instead, which is strictly better);
+- :func:`clone` — an independent copy of a sketch via its
+  serialization, used so callers' sketches are never mutated.
+
+SMB is not mergeable (order-dependent morphing schedule); use
+HLL/Bitmap/MRB when distributed set algebra is required.
+"""
+
+from __future__ import annotations
+
+from repro.estimators.base import CardinalityEstimator
+from repro.estimators.kmv import KMinValues
+
+
+def clone(estimator: CardinalityEstimator) -> CardinalityEstimator:
+    """Independent deep copy of a sketch via serialization."""
+    return type(estimator).from_bytes(estimator.to_bytes())
+
+
+def union_cardinality(
+    a: CardinalityEstimator, b: CardinalityEstimator
+) -> float:
+    """Estimate |A ∪ B| from two compatible sketches (non-mutating)."""
+    merged = clone(a)
+    merged.merge(b)
+    return merged.query()
+
+
+def intersection_cardinality(
+    a: CardinalityEstimator, b: CardinalityEstimator
+) -> float:
+    """Estimate |A ∩ B| by inclusion–exclusion (non-mutating).
+
+    Clamped below at 0 (sketch noise can push the raw value negative).
+    For KMV sketches the AKMV estimate (Jaccard × union) is used — it
+    has far lower variance than inclusion–exclusion.
+    """
+    if isinstance(a, KMinValues) and isinstance(b, KMinValues):
+        return a.jaccard(b) * union_cardinality(a, b)
+    return max(0.0, a.query() + b.query() - union_cardinality(a, b))
+
+
+def jaccard_similarity(
+    a: CardinalityEstimator, b: CardinalityEstimator
+) -> float:
+    """Estimate the Jaccard similarity |A ∩ B| / |A ∪ B| (non-mutating)."""
+    if isinstance(a, KMinValues) and isinstance(b, KMinValues):
+        return a.jaccard(b)
+    union = union_cardinality(a, b)
+    if union <= 0:
+        return 0.0
+    return min(1.0, intersection_cardinality(a, b) / union)

@@ -1,0 +1,42 @@
+"""Hashing substrate for all estimators.
+
+Provides deterministic, seedable 64-bit hashing of arbitrary items with
+matching scalar (pure Python) and vectorized (NumPy) implementations:
+
+- :func:`canonical_u64` / :func:`canonical_u64_array`: canonicalize
+  items (``int``, ``str``, ``bytes``) to unsigned 64-bit integers.
+- :class:`UniformHash`: seeded uniform hash over the full 64-bit range.
+- :class:`GeometricHash`: geometric hash ``G(x)`` of base 2
+  (Definition 1 of the paper): ``P(G(x) = i) = 2^-(i+1)``.
+
+All estimators derive independent hash streams from these primitives, so
+the whole library is deterministic given the estimator seeds.
+"""
+
+from repro.hashing.uniform import (
+    MASK64,
+    UniformHash,
+    canonical_u64,
+    canonical_u64_array,
+    fnv1a64,
+    splitmix64,
+    splitmix64_array,
+)
+from repro.hashing.geometric import (
+    GeometricHash,
+    trailing_zeros,
+    trailing_zeros_array,
+)
+
+__all__ = [
+    "MASK64",
+    "UniformHash",
+    "GeometricHash",
+    "canonical_u64",
+    "canonical_u64_array",
+    "fnv1a64",
+    "splitmix64",
+    "splitmix64_array",
+    "trailing_zeros",
+    "trailing_zeros_array",
+]

@@ -1,0 +1,146 @@
+"""Uniform 64-bit hashing, scalar and vectorized.
+
+The scalar path works on plain Python integers (masked to 64 bits) and is
+used by the per-item ``record()``/``query()`` code. The vectorized path
+works on ``numpy.uint64`` arrays and is used by the batch
+``record_many()`` code. Both paths implement the *same* function, which a
+property test asserts (``tests/test_hashing.py``).
+
+The finalizer is splitmix64 (Steele, Lea & Flood 2014), a well-studied
+64-bit mixer with full avalanche; seeding XORs a mixed seed into the
+input before finalizing, which yields independent hash functions for
+different seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+MASK64 = (1 << 64) - 1
+
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+_U64_GOLDEN = np.uint64(_GOLDEN)
+_U64_MIX1 = np.uint64(_MIX1)
+_U64_MIX2 = np.uint64(_MIX2)
+_U64_30 = np.uint64(30)
+_U64_27 = np.uint64(27)
+_U64_31 = np.uint64(31)
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def splitmix64(x: int) -> int:
+    """Finalize ``x`` with the splitmix64 mixer (scalar, pure Python)."""
+    z = (x + _GOLDEN) & MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & MASK64
+    return z ^ (z >> 31)
+
+
+def splitmix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 over a ``uint64`` array.
+
+    Returns a new array; the input is not modified.
+    """
+    z = x.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        z += _U64_GOLDEN
+        z ^= z >> _U64_30
+        z *= _U64_MIX1
+        z ^= z >> _U64_27
+        z *= _U64_MIX2
+        z ^= z >> _U64_31
+    return z
+
+
+def fnv1a64(data: bytes) -> int:
+    """FNV-1a 64-bit hash of a byte string (scalar)."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & MASK64
+    return h
+
+
+def canonical_u64(item: object) -> int:
+    """Canonicalize an item to an unsigned 64-bit integer.
+
+    - ``int``: masked to 64 bits (identity for non-negative 64-bit ints),
+      so integer workloads keep a zero-copy fast path.
+    - ``str``: FNV-1a of the UTF-8 encoding.
+    - ``bytes``/``bytearray``: FNV-1a of the bytes.
+
+    Raises ``TypeError`` for anything else, by design: silently hashing
+    ``repr()`` of arbitrary objects hides bugs in stream plumbing.
+    """
+    if isinstance(item, (int, np.integer)):
+        return int(item) & MASK64
+    if isinstance(item, str):
+        return fnv1a64(item.encode("utf-8"))
+    if isinstance(item, (bytes, bytearray)):
+        return fnv1a64(bytes(item))
+    raise TypeError(
+        f"cannot canonicalize item of type {type(item).__name__}; "
+        "expected int, str, or bytes"
+    )
+
+
+def canonical_u64_array(items: Iterable[object]) -> np.ndarray:
+    """Canonicalize a batch of items to a ``uint64`` array.
+
+    A ``numpy`` integer array passes through with at most a dtype view /
+    cast; other iterables go through :func:`canonical_u64` per item.
+    """
+    if isinstance(items, np.ndarray):
+        if items.dtype == np.uint64:
+            return items
+        if np.issubdtype(items.dtype, np.integer):
+            return items.astype(np.uint64)
+        raise TypeError(
+            f"cannot canonicalize array of dtype {items.dtype}; "
+            "expected an integer dtype"
+        )
+    if isinstance(items, Sequence) and items and isinstance(items[0], (int, np.integer)):
+        return np.asarray(items, dtype=np.uint64)
+    return np.fromiter(
+        (canonical_u64(item) for item in items), dtype=np.uint64
+    )
+
+
+class UniformHash:
+    """A seeded uniform hash function ``H(d)`` over ``[0, 2^64)``.
+
+    Different ``seed`` values give independent hash functions. The class
+    exposes a scalar path (:meth:`hash_u64`, :meth:`hash_item`) and a
+    vectorized path (:meth:`hash_array`) computing the same function.
+    """
+
+    __slots__ = ("seed", "_seed_mix", "_seed_mix_u64")
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        # Pre-mix the seed so that consecutive seeds give unrelated
+        # functions (raw small seeds differ in few bits).
+        self._seed_mix = splitmix64(self.seed & MASK64)
+        self._seed_mix_u64 = np.uint64(self._seed_mix)
+
+    def hash_u64(self, x: int) -> int:
+        """Hash a canonical uint64 value (scalar)."""
+        return splitmix64(x ^ self._seed_mix)
+
+    def hash_item(self, item: object) -> int:
+        """Canonicalize and hash an arbitrary item (scalar)."""
+        return self.hash_u64(canonical_u64(item))
+
+    def hash_array(self, x: np.ndarray) -> np.ndarray:
+        """Hash a ``uint64`` array (vectorized)."""
+        return splitmix64_array(x ^ self._seed_mix_u64)
+
+    def __repr__(self) -> str:
+        return f"UniformHash(seed={self.seed})"

@@ -1,0 +1,28 @@
+"""Multi-stream sketching (§II-C).
+
+- :class:`PerFlowSketch` — one estimator per stream key (simple,
+  memory-linear in the number of flows);
+- :class:`CompactSpreadEstimator` / :class:`VirtualHyperLogLog` —
+  shared-memory virtual estimators for very large flow populations;
+- :class:`WindowedEstimator` / :class:`SurgeDetector` — measurement
+  windows and surge alerts (the DDoS-detection pattern).
+"""
+
+from repro.sketches.per_flow import PerFlowSketch
+from repro.sketches.spread_sketch import SpreadSketch
+from repro.sketches.virtual import CompactSpreadEstimator, VirtualHyperLogLog
+from repro.sketches.windowed import (
+    SlidingWindowEstimator,
+    SurgeDetector,
+    WindowedEstimator,
+)
+
+__all__ = [
+    "CompactSpreadEstimator",
+    "PerFlowSketch",
+    "SlidingWindowEstimator",
+    "SpreadSketch",
+    "SurgeDetector",
+    "VirtualHyperLogLog",
+    "WindowedEstimator",
+]

@@ -1,0 +1,159 @@
+"""SpreadSketch: invertible super-spreader detection with estimator plug-ins.
+
+The paper's §II-C points at the line of work that builds *sketches for
+many streams* out of cardinality estimators ("these sketches all use
+the cardinality estimators … as plug-ins, and … SMB can also act as
+plug-ins for these sketches"). SpreadSketch (Tang, Huang & Lee,
+INFOCOM 2020) is the canonical invertible design, implemented here with
+any of this library's estimators as the per-cell plug-in:
+
+- a ``d × w`` matrix of cells, each holding one cardinality estimator,
+  a *candidate* flow key, and a level;
+- recording ``(flow, item)`` touches one cell per row (``H_i(flow) mod
+  w``), records the item into the cell's estimator, and replaces the
+  cell's candidate key when the observation's geometric level
+  (``G(flow, item)``) reaches the cell's current level — so each cell
+  remembers the flow most likely to dominate its spread;
+- ``query(flow)`` takes the minimum estimate over the flow's ``d``
+  cells (CM-sketch style: collisions only inflate, so min is tightest);
+- ``superspreaders(k)`` *inverts* the sketch: the candidate keys stored
+  in the cells are the only flows that need querying — no enumeration
+  of the key space.
+
+With SMB plugged in, recording inherits its adaptive sampling speed-up
+and queries stay O(d), which is exactly the paper's pitch for SMB as a
+plug-in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.estimators.base import CardinalityEstimator
+from repro.hashing import GeometricHash, UniformHash, canonical_u64, splitmix64
+
+
+class _Cell:
+    __slots__ = ("estimator", "candidate", "level")
+
+    def __init__(self, estimator: CardinalityEstimator) -> None:
+        self.estimator = estimator
+        self.candidate: int | None = None
+        self.level = -1
+
+
+class SpreadSketch:
+    """Invertible multi-flow spread sketch (see module docstring).
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable producing a fresh per-cell estimator.
+    rows:
+        Number of hash rows d (independent views; min over rows).
+    columns:
+        Cells per row w.
+    seed:
+        Seed for the row hashes and the candidate-level hash.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], CardinalityEstimator],
+        rows: int = 4,
+        columns: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        if columns < 2:
+            raise ValueError(f"columns must be >= 2, got {columns}")
+        self.d = int(rows)
+        self.w = int(columns)
+        self.seed = int(seed)
+        self._row_hashes = [UniformHash(seed + 31 * i) for i in range(rows)]
+        self._level_hash = GeometricHash(seed + 0x5350)  # "SP"
+        self._cells = [
+            [_Cell(factory()) for __ in range(columns)] for __ in range(rows)
+        ]
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, flow: object, item: object) -> None:
+        """Record one (flow, item) observation."""
+        flow_u64 = canonical_u64(flow)
+        item_u64 = canonical_u64(item)
+        # Level depends on the (flow, item) pair so each distinct pair
+        # draws one geometric level — a flow with many distinct items
+        # gets many draws and eventually wins its cells' candidacies.
+        level = self._level_hash.value_u64(splitmix64(flow_u64) ^ item_u64)
+        for row, row_hash in enumerate(self._row_hashes):
+            cell = self._cells[row][row_hash.hash_u64(flow_u64) % self.w]
+            cell.estimator._record_u64(item_u64)
+            if level >= cell.level:
+                cell.level = level
+                cell.candidate = flow_u64
+
+    def record_many(self, flow: object, items) -> None:
+        """Record a batch of items for one flow."""
+        from repro.hashing import canonical_u64_array
+
+        flow_u64 = canonical_u64(flow)
+        values = canonical_u64_array(items)
+        if values.size == 0:
+            return
+        import numpy as np
+
+        levels = self._level_hash.value_array(
+            np.uint64(splitmix64(flow_u64)) ^ values
+        )
+        best_level = int(levels.max())
+        for row, row_hash in enumerate(self._row_hashes):
+            cell = self._cells[row][row_hash.hash_u64(flow_u64) % self.w]
+            cell.estimator._record_batch(values)
+            if best_level >= cell.level:
+                cell.level = best_level
+                cell.candidate = flow_u64
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def query(self, flow: object) -> float:
+        """Spread estimate for a flow: min over its d cells."""
+        flow_u64 = canonical_u64(flow)
+        return min(
+            self._cells[row][row_hash.hash_u64(flow_u64) % self.w].estimator.query()
+            for row, row_hash in enumerate(self._row_hashes)
+        )
+
+    def candidates(self) -> set[int]:
+        """All candidate flow keys currently stored in cells."""
+        return {
+            cell.candidate
+            for row in self._cells
+            for cell in row
+            if cell.candidate is not None
+        }
+
+    def superspreaders(self, k: int = 10) -> list[tuple[int, float]]:
+        """Top-k candidate flows by estimated spread, largest first.
+
+        The sketch is invertible: only the stored candidates are
+        queried, so detection needs no knowledge of the key space.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        scored = [
+            (candidate, self.query(candidate)) for candidate in self.candidates()
+        ]
+        scored.sort(key=lambda pair: pair[1], reverse=True)
+        return scored[:k]
+
+    def memory_bits(self) -> int:
+        """Total memory: estimators + 64-bit candidate + 6-bit level per cell."""
+        return sum(
+            cell.estimator.memory_bits() + 64 + 6
+            for row in self._cells
+            for cell in row
+        )

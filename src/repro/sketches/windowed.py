@@ -1,0 +1,223 @@
+"""Windowed cardinality monitoring.
+
+Real deployments (§I: DDoS detection, popularity tracking) measure
+cardinality per *time window* and react to changes between windows.
+
+- :class:`WindowedEstimator` wraps any estimator factory with tumbling
+  windows: a current-window estimator, a closed previous window, and an
+  exponential trailing baseline for surge detection.
+- :class:`SurgeDetector` runs one windowed estimator per stream key and
+  reports keys whose cardinality surges over their baseline — the
+  paper's DDoS use-case as a reusable component.
+- :class:`SlidingWindowEstimator` approximates a *sliding* window with
+  the standard jumping-panes technique: the window is split into k
+  panes, each pane is a mergeable estimator, and a query merges the
+  most recent k panes. Requires a merge-capable estimator (HLL, MRB,
+  Bitmap, …); SMB is rejected at construction because it cannot merge
+  (its morphing schedule is order-dependent).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+import numpy as np
+
+from repro.estimators.base import CardinalityEstimator
+
+
+class WindowedEstimator:
+    """Per-window cardinality with a trailing baseline.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable producing a fresh estimator per window.
+    smoothing:
+        Weight of history in the exponential baseline update
+        ``baseline = smoothing·baseline + (1−smoothing)·window``.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], CardinalityEstimator],
+        smoothing: float = 0.7,
+    ) -> None:
+        if not 0 <= smoothing < 1:
+            raise ValueError(f"smoothing must be in [0, 1), got {smoothing}")
+        self._factory = factory
+        self.smoothing = float(smoothing)
+        self.current: CardinalityEstimator = factory()
+        self.previous_estimate: float | None = None
+        self.baseline: float | None = None
+        self.windows_closed = 0
+
+    def record(self, item: object) -> None:
+        """Record one item into the current window."""
+        self.current.record(item)
+
+    def record_many(self, items: Iterable[object] | np.ndarray) -> None:
+        """Record a batch into the current window."""
+        self.current.record_many(items)
+
+    def query(self) -> float:
+        """Estimate for the (still open) current window."""
+        return self.current.query()
+
+    def close_window(self) -> float:
+        """End the window: fold it into the baseline, start a fresh one.
+
+        Returns the closed window's estimate.
+        """
+        estimate = self.current.query()
+        self.previous_estimate = estimate
+        if self.baseline is None:
+            self.baseline = estimate
+        else:
+            self.baseline = (
+                self.smoothing * self.baseline
+                + (1 - self.smoothing) * estimate
+            )
+        self.current = self._factory()
+        self.windows_closed += 1
+        return estimate
+
+    def surge_ratio(self) -> float | None:
+        """Current-window estimate over the trailing baseline.
+
+        ``None`` until a baseline exists; the baseline is floored at 1
+        so brand-new streams don't divide by zero.
+        """
+        if self.baseline is None:
+            return None
+        return self.query() / max(1.0, self.baseline)
+
+
+class SlidingWindowEstimator:
+    """Sliding-window cardinality via jumping panes (module docstring).
+
+    Parameters
+    ----------
+    factory:
+        Factory for a merge-capable estimator; probed at construction.
+    panes:
+        Number of panes k the window is divided into. The estimate
+        covers the last ``panes`` closed-or-open panes, so the effective
+        window slides with a granularity of one pane.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], CardinalityEstimator],
+        panes: int = 8,
+    ) -> None:
+        if panes < 2:
+            raise ValueError(f"panes must be >= 2, got {panes}")
+        probe_a, probe_b = factory(), factory()
+        try:
+            probe_a.merge(probe_b)
+        except NotImplementedError as error:
+            raise TypeError(
+                "SlidingWindowEstimator needs a merge-capable estimator "
+                f"(got {type(probe_a).__name__}): {error}"
+            ) from error
+        self._factory = factory
+        self.panes = int(panes)
+        self._ring: list[CardinalityEstimator] = [factory()]
+
+    def record(self, item: object) -> None:
+        """Record one item into the open pane."""
+        self._ring[-1].record(item)
+
+    def record_many(self, items: Iterable[object] | np.ndarray) -> None:
+        """Record a batch into the open pane."""
+        self._ring[-1].record_many(items)
+
+    def advance_pane(self) -> None:
+        """Close the current pane and open a fresh one.
+
+        Call once per pane interval (e.g. every W/k seconds or items);
+        panes older than the window fall out of the ring.
+        """
+        self._ring.append(self._factory())
+        if len(self._ring) > self.panes:
+            self._ring.pop(0)
+
+    def query(self) -> float:
+        """Cardinality estimate over the sliding window (last k panes)."""
+        merged = self._factory()
+        for pane in self._ring:
+            merged.merge(pane)
+        return merged.query()
+
+    def memory_bits(self) -> int:
+        """Total memory across the ring of panes."""
+        return sum(pane.memory_bits() for pane in self._ring)
+
+
+class SurgeDetector:
+    """Per-key windowed monitoring with surge alerts (the DDoS pattern).
+
+    Parameters
+    ----------
+    factory:
+        Estimator factory, one instance per (key, window).
+    surge_factor:
+        Alert when a closed window exceeds ``surge_factor`` × baseline.
+    smoothing:
+        Baseline smoothing passed through to :class:`WindowedEstimator`.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], CardinalityEstimator],
+        surge_factor: float = 5.0,
+        smoothing: float = 0.7,
+    ) -> None:
+        if surge_factor <= 1:
+            raise ValueError(f"surge_factor must exceed 1, got {surge_factor}")
+        self._factory = factory
+        self.surge_factor = float(surge_factor)
+        self.smoothing = float(smoothing)
+        self._keys: dict[Hashable, WindowedEstimator] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def _windowed(self, key: Hashable) -> WindowedEstimator:
+        windowed = self._keys.get(key)
+        if windowed is None:
+            windowed = WindowedEstimator(self._factory, self.smoothing)
+            self._keys[key] = windowed
+        return windowed
+
+    def record(self, key: Hashable, item: object) -> None:
+        """Record one (key, item) observation into the open window."""
+        self._windowed(key).record(item)
+
+    def record_many(self, key: Hashable, items) -> None:
+        """Record a batch for one key into the open window."""
+        self._windowed(key).record_many(items)
+
+    def close_window(self) -> list[tuple[Hashable, float, float]]:
+        """Close every key's window; return surge alerts.
+
+        Each alert is ``(key, baseline_before, window_estimate)``,
+        sorted by surge magnitude (largest first). Keys with no prior
+        baseline can't surge yet.
+        """
+        alerts = []
+        for key, windowed in self._keys.items():
+            baseline = windowed.baseline
+            estimate = windowed.close_window()
+            if baseline is not None and estimate > self.surge_factor * max(
+                1.0, baseline
+            ):
+                alerts.append((key, baseline, estimate))
+        alerts.sort(key=lambda alert: alert[2] / max(1.0, alert[1]), reverse=True)
+        return alerts
+
+    def baseline(self, key: Hashable) -> float | None:
+        """Trailing baseline for a key (None if unseen / first window)."""
+        windowed = self._keys.get(key)
+        return windowed.baseline if windowed is not None else None

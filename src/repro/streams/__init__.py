@@ -1,0 +1,18 @@
+"""Workload generators: synthetic streams and a CAIDA-like packet trace."""
+
+from repro.streams.synthetic import (
+    distinct_items,
+    random_strings,
+    stream_with_duplicates,
+    zipf_weights,
+)
+from repro.streams.trace import SyntheticTrace, TraceConfig
+
+__all__ = [
+    "SyntheticTrace",
+    "TraceConfig",
+    "distinct_items",
+    "random_strings",
+    "stream_with_duplicates",
+    "zipf_weights",
+]

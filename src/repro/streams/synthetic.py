@@ -1,0 +1,139 @@
+"""Synthetic data-stream generators.
+
+The paper's accuracy experiments use streams of randomly generated
+strings (length up to 128) with a controlled number of distinct items.
+Because every estimator canonicalizes items to uint64 before hashing,
+the integer fast path (:func:`distinct_items`) produces statistically
+identical workloads at a fraction of the cost; :func:`random_strings`
+exists to exercise the string path end-to-end.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import string
+
+import numpy as np
+
+_ALPHABET = np.frombuffer(
+    (string.ascii_letters + string.digits).encode("ascii"), dtype=np.uint8
+)
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def distinct_items(cardinality: int, seed: int | np.random.Generator | None = 0) -> np.ndarray:
+    """Generate ``cardinality`` distinct uint64 item identifiers.
+
+    Identifiers are drawn uniformly from the 64-bit space; for the sizes
+    used here (<= 10^8) collisions are vanishingly unlikely, but we
+    guarantee distinctness by resampling any duplicates.
+    """
+    if cardinality < 0:
+        raise ValueError(f"cardinality must be non-negative, got {cardinality}")
+    gen = _rng(seed)
+    items = gen.integers(0, 1 << 64, size=cardinality, dtype=np.uint64)
+    # Resample duplicates until all identifiers are distinct.
+    while True:
+        unique, counts = np.unique(items, return_counts=True)
+        if unique.size == cardinality:
+            return items
+        dup_positions = np.flatnonzero(np.isin(items, unique[counts > 1]))
+        # Keep the first occurrence of each duplicate value.
+        seen: set[int] = set()
+        redraw = []
+        for pos in dup_positions:
+            value = int(items[pos])
+            if value in seen:
+                redraw.append(pos)
+            else:
+                seen.add(value)
+        items[redraw] = gen.integers(0, 1 << 64, size=len(redraw), dtype=np.uint64)
+
+
+def random_strings(
+    count: int,
+    max_length: int = 128,
+    min_length: int = 8,
+    seed: int | np.random.Generator | None = 0,
+) -> list[str]:
+    """Generate ``count`` random alphanumeric strings (paper's workload).
+
+    String lengths are uniform in ``[min_length, max_length]``. Strings
+    are not guaranteed distinct, but at these lengths duplicates are
+    practically impossible.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if not 1 <= min_length <= max_length:
+        raise ValueError(
+            f"need 1 <= min_length <= max_length, got {min_length}..{max_length}"
+        )
+    gen = _rng(seed)
+    lengths = gen.integers(min_length, max_length + 1, size=count)
+    chars = gen.integers(0, _ALPHABET.size, size=int(lengths.sum()))
+    flat = _ALPHABET[chars].tobytes().decode("ascii")
+    out = []
+    offset = 0
+    for length in lengths:
+        out.append(flat[offset:offset + int(length)])
+        offset += int(length)
+    return out
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalized Zipf weights ``w_i ∝ (i+1)^-exponent`` for ``count`` ranks."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    weights = np.arange(1, count + 1, dtype=np.float64) ** -exponent
+    return weights / weights.sum()
+
+
+def stream_with_duplicates(
+    cardinality: int,
+    length: int,
+    model: str = "uniform",
+    zipf_exponent: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """A stream of ``length`` items over ``cardinality`` distinct identifiers.
+
+    Every distinct identifier appears at least once (so the true
+    cardinality is exactly ``cardinality``); the remaining
+    ``length - cardinality`` slots are filled by re-draws under the
+    duplication ``model``:
+
+    - ``"uniform"``: duplicates drawn uniformly over the distinct items;
+    - ``"zipf"``: duplicates drawn with Zipf(``zipf_exponent``) weights,
+      modelling the skewed repeat patterns of real traffic.
+
+    The result is globally shuffled.
+    """
+    if length < cardinality:
+        raise ValueError(
+            f"stream length {length} cannot be below cardinality {cardinality}"
+        )
+    gen = _rng(seed)
+    items = distinct_items(cardinality, gen)
+    extra = length - cardinality
+    if extra == 0:
+        stream = items.copy()
+    else:
+        if model == "uniform":
+            repeats = gen.integers(0, cardinality, size=extra)
+        elif model == "zipf":
+            repeats = gen.choice(
+                cardinality, size=extra, p=zipf_weights(cardinality, zipf_exponent)
+            )
+        else:
+            raise ValueError(f"unknown duplication model: {model!r}")
+        stream = np.concatenate([items, items[repeats]])
+    gen.shuffle(stream)
+    return stream

@@ -1,0 +1,39 @@
+"""Shared fixtures: the estimator zoo used by generic test batteries."""
+
+import pytest
+
+from repro import (
+    Bitmap,
+    ExactCounter,
+    FMSketch,
+    HyperLogLog,
+    HyperLogLogPlusPlus,
+    HyperLogLogTailCut,
+    KMinValues,
+    LogLog,
+    MultiResolutionBitmap,
+    SelfMorphingBitmap,
+    SuperLogLog,
+)
+
+#: (name, factory) for every estimator, at a 5000-bit-ish budget.
+#: Factories accept a seed so statistical tests can average over trials.
+ESTIMATOR_FACTORIES = [
+    ("bitmap", lambda seed=0: Bitmap(5000, seed=seed)),
+    ("mrb", lambda seed=0: MultiResolutionBitmap(416, 12, seed=seed)),
+    ("fm", lambda seed=0: FMSketch(5000, seed=seed)),
+    ("loglog", lambda seed=0: LogLog(5000, seed=seed)),
+    ("superloglog", lambda seed=0: SuperLogLog(5000, seed=seed)),
+    ("hll", lambda seed=0: HyperLogLog(5000, seed=seed)),
+    ("hllpp", lambda seed=0: HyperLogLogPlusPlus(5000, seed=seed)),
+    ("tailcut", lambda seed=0: HyperLogLogTailCut(5000, seed=seed)),
+    ("kmv", lambda seed=0: KMinValues(78, seed=seed)),
+    ("smb", lambda seed=0: SelfMorphingBitmap(5000, threshold=384, seed=seed)),
+    ("exact", lambda seed=0: ExactCounter()),
+]
+
+
+@pytest.fixture(params=ESTIMATOR_FACTORIES, ids=[n for n, __ in ESTIMATOR_FACTORIES])
+def estimator_factory(request):
+    """Parametrized over every estimator in the library."""
+    return request.param[1]

@@ -1,0 +1,68 @@
+"""Tests for the Adaptive Bitmap (§II-C related work)."""
+
+import numpy as np
+import pytest
+
+from repro import AdaptiveBitmap
+from repro.streams import distinct_items
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveBitmap(32)
+        with pytest.raises(ValueError):
+            AdaptiveBitmap(1000, probe_fraction=0)
+        with pytest.raises(ValueError):
+            AdaptiveBitmap(1000, expected_cardinality=0)
+
+    def test_memory_split(self):
+        adaptive = AdaptiveBitmap(5000, probe_fraction=0.1)
+        assert adaptive.memory_bits() <= 5000 + 64
+
+    def test_initial_sampling_probability(self):
+        small = AdaptiveBitmap(5000, expected_cardinality=100)
+        assert small.sampling_probability == 1.0
+        large = AdaptiveBitmap(5000, expected_cardinality=1_000_000)
+        assert large.sampling_probability < 0.01
+
+
+class TestWellTuned:
+    def test_accurate_when_guess_is_right(self):
+        n = 100_000
+        errors = []
+        for seed in range(5):
+            adaptive = AdaptiveBitmap(
+                10_000, expected_cardinality=n, seed=seed
+            )
+            adaptive.record_many(distinct_items(n, seed=seed + 130))
+            errors.append(abs(adaptive.query() - n) / n)
+        assert float(np.mean(errors)) < 0.10
+
+
+class TestMisTuned:
+    """The paper's criticism: a wrong p ruins the estimate."""
+
+    def test_saturates_when_guess_too_small(self):
+        # Tuned for 1k but receives 500k: p = 1, bitmap saturates.
+        adaptive = AdaptiveBitmap(2000, expected_cardinality=1000, seed=0)
+        n = 500_000
+        adaptive.record_many(distinct_items(n, seed=1))
+        assert adaptive.query() < n / 2  # badly clamped
+
+    def test_retune_fixes_next_interval(self):
+        adaptive = AdaptiveBitmap(5000, expected_cardinality=1000, seed=0)
+        n = 300_000
+        adaptive.record_many(distinct_items(n, seed=2))
+        assert adaptive.query() < n / 2
+        # The probe still tracked the magnitude; re-tuning recovers.
+        adaptive.advance_interval()
+        assert adaptive.sampling_probability < 0.2
+        adaptive.record_many(distinct_items(n, seed=3))
+        assert adaptive.query() == pytest.approx(n, rel=0.35)
+
+    def test_probe_estimate_tracks_magnitude(self):
+        adaptive = AdaptiveBitmap(5000, expected_cardinality=1000, seed=0)
+        adaptive.record_many(distinct_items(50_000, seed=4))
+        probe = adaptive.probe_estimate()
+        assert 10_000 < probe < 250_000

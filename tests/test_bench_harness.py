@@ -1,0 +1,188 @@
+"""Integration tests for the experiment harness (small workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    accuracy_sweep,
+    make_estimator,
+    overhead_table,
+    query_throughput_vs_memory,
+    recording_throughput_table,
+    select_columns,
+)
+from repro.bench.caida import (
+    absolute_error_by_group,
+    materialize_streams,
+    query_throughput,
+    recording_throughput,
+    smb_throughput_by_range,
+)
+from repro.bench.runner import (
+    ALL_ESTIMATORS,
+    geometric_cardinalities,
+    mdps,
+    repro_scale,
+    time_call,
+)
+from repro.streams import SyntheticTrace, TraceConfig
+
+
+class TestRunner:
+    def test_make_estimator_all_names(self):
+        for name in ALL_ESTIMATORS:
+            estimator = make_estimator(name, 5_000, 1_000_000)
+            estimator.record("x")
+            assert estimator.query() > 0
+
+    def test_make_estimator_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_estimator("NotAnEstimator", 5_000)
+
+    def test_mrb_uses_table_iii(self):
+        mrb = make_estimator("MRB", 5_000, 1_000_000)
+        assert (mrb.b, mrb.k) == (416, 12)
+
+    def test_repro_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert repro_scale(0.5) == 0.5
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        assert repro_scale(0.5) == 0.25
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            repro_scale()
+
+    def test_mdps(self):
+        assert mdps(1_000_000, 1.0) == 1.0
+        assert mdps(10, 0.0) == float("inf")
+
+    def test_time_call_positive(self):
+        assert time_call(lambda: sum(range(100)), min_seconds=0.001) > 0
+
+    def test_geometric_cardinalities(self):
+        grid = geometric_cardinalities(100, 10_000, 5)
+        assert grid[0] == 100
+        assert grid[-1] == 10_000
+        assert grid == sorted(grid)
+
+
+class TestThroughputExperiments:
+    def test_recording_table_structure(self):
+        rows = recording_throughput_table(
+            memory_bits=2_000,
+            cardinalities=(1_000,),
+            estimators=("SMB", "HLL++"),
+        )
+        assert len(rows) == 1
+        assert set(rows[0]) == {"cardinality", "SMB", "HLL++"}
+        assert rows[0]["SMB"] > 0
+
+    def test_scalar_path(self):
+        rows = recording_throughput_table(
+            memory_bits=2_000,
+            cardinalities=(2_000,),
+            estimators=("SMB",),
+            path="scalar",
+        )
+        assert rows[0]["SMB"] > 0
+
+    def test_scalar_path_caps_cardinality(self):
+        rows = recording_throughput_table(
+            memory_bits=2_000,
+            cardinalities=(1_000_000,),
+            estimators=("SMB",),
+            path="scalar",
+        )
+        assert rows[0]["cardinality"] <= 200_000
+
+    def test_rejects_unknown_path(self):
+        with pytest.raises(ValueError):
+            recording_throughput_table(path="warp")
+
+    def test_online_duplicated_stream(self):
+        from repro.bench.throughput import recording_throughput_online
+
+        out = recording_throughput_online(
+            memory_bits=2_000,
+            cardinality=5_000,
+            estimators=("SMB", "MRB"),
+        )
+        assert set(out) == {"SMB", "MRB"}
+        assert all(v > 0 for v in out.values())
+
+    def test_query_table_structure(self):
+        rows = query_throughput_vs_memory(
+            memories=(1_000,), cardinality=1_000, estimators=("SMB",)
+        )
+        assert rows[0]["SMB"] > 0
+
+
+class TestAccuracyExperiments:
+    def test_sweep_and_projection(self):
+        rows = accuracy_sweep(
+            2_500,
+            cardinalities=(1_000, 10_000),
+            estimators=("SMB", "MRB"),
+            trials=3,
+        )
+        assert len(rows) == 2
+        x_values, series = select_columns(rows, "rel_error", ("SMB", "MRB"))
+        assert x_values == [1_000, 10_000]
+        assert all(len(column) == 2 for column in series.values())
+        assert all(0 <= v < 1 for v in series["SMB"])
+
+    def test_bias_columns_present(self):
+        rows = accuracy_sweep(
+            2_500, cardinalities=(1_000,), estimators=("SMB",), trials=3
+        )
+        assert "SMB/bias" in rows[0]
+        assert "SMB/abs_error" in rows[0]
+
+
+class TestOverheadExperiment:
+    def test_smb_amortization_visible(self):
+        rows = {r["estimator"]: r for r in overhead_table(cardinality=50_000)}
+        assert rows["SMB"]["record hash/item"] < 2
+        assert rows["SMB"]["query bits"] == 32
+
+
+TINY_TRACE = SyntheticTrace(
+    TraceConfig(num_streams=60, total_packets=30_000,
+                max_cardinality=3_000, seed=3)
+)
+
+
+class TestCaidaExperiments:
+    def test_materialize(self):
+        streams = materialize_streams(TINY_TRACE, [0, 1, 2])
+        assert set(streams) == {0, 1, 2}
+        assert streams[0].size > 0
+
+    def test_recording_throughput_keys(self):
+        out = recording_throughput(
+            TINY_TRACE, estimators=("SMB", "MRB"),
+            streams=materialize_streams(TINY_TRACE),
+        )
+        assert set(out) == {"SMB", "MRB"}
+        assert all(v > 0 for v in out.values())
+
+    def test_range_breakdown(self):
+        rows = smb_throughput_by_range(TINY_TRACE)
+        assert len(rows) == 4
+        populated = [r for r in rows if r["streams"]]
+        assert populated
+
+    def test_query_throughput(self):
+        out = query_throughput(TINY_TRACE, estimators=("SMB",), sample_streams=3)
+        assert out["SMB"] > 0
+
+    def test_error_groups(self):
+        small, large = absolute_error_by_group(
+            TINY_TRACE, memories=(2_000,), estimators=("SMB",),
+            max_small_streams=20, large_trials=1,
+        )
+        assert small[0]["SMB"] is not None
+        assert large[0]["SMB"] is not None
+        # Small streams are near-exact; large streams err more in
+        # absolute terms.
+        assert small[0]["SMB"] < large[0]["SMB"]

@@ -1,0 +1,101 @@
+"""Tests for the plain bitmap (linear counting) estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Bitmap
+from repro.streams import distinct_items
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bitmap(1)
+        with pytest.raises(ValueError):
+            Bitmap(100, sampling_probability=0)
+        with pytest.raises(ValueError):
+            Bitmap(100, sampling_probability=1.5)
+
+    def test_memory_bits(self):
+        assert Bitmap(5000).memory_bits() == 5000
+
+
+class TestEstimation:
+    def test_formula(self):
+        bitmap = Bitmap(1000, seed=0)
+        bitmap.record_many(distinct_items(300, seed=1))
+        ones = bitmap.ones
+        assert bitmap.query() == pytest.approx(-1000 * math.log(1 - ones / 1000))
+
+    def test_accurate_within_range(self):
+        errors = []
+        for seed in range(10):
+            bitmap = Bitmap(10_000, seed=seed)
+            bitmap.record_many(distinct_items(5000, seed=seed + 20))
+            errors.append(abs(bitmap.query() - 5000) / 5000)
+        assert float(np.mean(errors)) < 0.03
+
+    def test_saturation_clamps_to_max(self):
+        bitmap = Bitmap(100, seed=0)
+        bitmap.record_many(distinct_items(100_000, seed=2))
+        assert bitmap.ones == 100
+        assert bitmap.query() == pytest.approx(100 * math.log(100))
+
+    def test_max_estimate(self):
+        assert Bitmap(1000).max_estimate() == pytest.approx(1000 * math.log(1000))
+
+
+class TestSampling:
+    def test_sampling_probability_scales_estimate(self):
+        n = 50_000
+        errors = []
+        for seed in range(10):
+            bitmap = Bitmap(5000, seed=seed, sampling_probability=0.1)
+            bitmap.record_many(distinct_items(n, seed=seed + 40))
+            errors.append(abs(bitmap.query() - n) / n)
+        assert float(np.mean(errors)) < 0.08
+
+    def test_sampling_is_consistent_for_duplicates(self):
+        bitmap = Bitmap(1000, seed=0, sampling_probability=0.5)
+        items = distinct_items(100, seed=3)
+        bitmap.record_many(items)
+        before = (bitmap.ones, bitmap.query())
+        bitmap.record_many(items)
+        assert (bitmap.ones, bitmap.query()) == before
+
+    def test_sampling_drops_roughly_right_fraction(self):
+        bitmap = Bitmap(100_000, seed=0, sampling_probability=0.25)
+        bitmap.record_many(distinct_items(10_000, seed=4))
+        # ~2500 sampled items over 100k bits: few collisions expected.
+        assert 2000 < bitmap.ones < 3000
+
+
+class TestSerializationAndMerge:
+    def test_roundtrip(self):
+        bitmap = Bitmap(500, seed=7, sampling_probability=0.5)
+        bitmap.record_many(distinct_items(1000, seed=5))
+        restored = Bitmap.from_bytes(bitmap.to_bytes())
+        assert restored.query() == bitmap.query()
+        assert restored.p == bitmap.p
+
+    def test_merge_is_union(self):
+        a, b = Bitmap(2000, seed=1), Bitmap(2000, seed=1)
+        items = distinct_items(1000, seed=6)
+        a.record_many(items[:600])
+        b.record_many(items[400:])
+        union = Bitmap(2000, seed=1)
+        union.record_many(items)
+        a.merge(b)
+        assert a.query() == union.query()
+
+    def test_merge_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            Bitmap(100, seed=1).merge(Bitmap(100, seed=2))
+        with pytest.raises(TypeError):
+            Bitmap(100).merge(object())  # type: ignore[arg-type]
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            Bitmap.from_bytes(b"NOPE" + b"\0" * 40)

@@ -1,0 +1,187 @@
+"""Unit and property tests for the packed BitVector substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitvector import BitVector
+
+
+class TestConstruction:
+    def test_starts_empty(self):
+        vec = BitVector(100)
+        assert len(vec) == 100
+        assert vec.ones == 0
+        assert vec.zeros == 100
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            BitVector(0)
+        with pytest.raises(ValueError):
+            BitVector(-5)
+
+    def test_non_word_multiple_size(self):
+        vec = BitVector(70)
+        vec.set(69)
+        assert vec.get(69)
+        assert vec.ones == 1
+
+
+class TestScalarOps:
+    def test_set_and_get(self):
+        vec = BitVector(64)
+        assert not vec.get(10)
+        assert vec.set(10) is True
+        assert vec.get(10)
+        assert vec.ones == 1
+
+    def test_double_set_not_new(self):
+        vec = BitVector(64)
+        assert vec.set(5) is True
+        assert vec.set(5) is False
+        assert vec.ones == 1
+
+    def test_bounds_checked(self):
+        vec = BitVector(64)
+        with pytest.raises(IndexError):
+            vec.get(64)
+        with pytest.raises(IndexError):
+            vec.set(-1)
+
+    def test_word_boundaries(self):
+        vec = BitVector(256)
+        for index in (0, 63, 64, 127, 128, 255):
+            assert vec.set(index)
+        assert vec.ones == 6
+        for index in (0, 63, 64, 127, 128, 255):
+            assert vec.get(index)
+        assert not vec.get(1)
+
+
+class TestBatchOps:
+    def test_set_many_counts_new(self):
+        vec = BitVector(128)
+        assert vec.set_many(np.array([1, 2, 3], dtype=np.uint64)) == 3
+        assert vec.set_many(np.array([3, 4], dtype=np.uint64)) == 1
+        assert vec.ones == 4
+
+    def test_set_many_with_duplicates_in_batch(self):
+        vec = BitVector(128)
+        assert vec.set_many(np.array([7, 7, 7, 8], dtype=np.uint64)) == 2
+
+    def test_set_many_empty(self):
+        vec = BitVector(64)
+        assert vec.set_many(np.array([], dtype=np.uint64)) == 0
+
+    def test_count_new_does_not_modify(self):
+        vec = BitVector(64)
+        vec.set(1)
+        indices = np.array([1, 2, 2, 3], dtype=np.uint64)
+        assert vec.count_new(indices) == 2
+        assert vec.ones == 1
+
+    def test_test_many(self):
+        vec = BitVector(128)
+        vec.set(0)
+        vec.set(65)
+        result = vec.test_many(np.array([0, 1, 65, 127], dtype=np.uint64))
+        assert result.tolist() == [True, False, True, False]
+
+    @given(st.lists(st.integers(0, 499), min_size=0, max_size=300))
+    def test_batch_equals_scalar(self, indices):
+        batch_vec = BitVector(500)
+        scalar_vec = BitVector(500)
+        arr = np.asarray(indices, dtype=np.uint64)
+        newly_batch = batch_vec.set_many(arr)
+        newly_scalar = sum(scalar_vec.set(i) for i in indices)
+        assert newly_batch == newly_scalar
+        assert batch_vec == scalar_vec
+        assert batch_vec.ones == scalar_vec.ones
+
+    @given(st.lists(st.integers(0, 499), min_size=0, max_size=200))
+    def test_count_new_predicts_set_many(self, indices):
+        vec = BitVector(500)
+        vec.set_many(np.arange(0, 500, 7, dtype=np.uint64))
+        arr = np.asarray(indices, dtype=np.uint64)
+        predicted = vec.count_new(arr)
+        assert vec.set_many(arr) == predicted
+
+
+class TestLifecycle:
+    def test_clear(self):
+        vec = BitVector(64)
+        vec.set_many(np.arange(10, dtype=np.uint64))
+        vec.clear()
+        assert vec.ones == 0
+        assert not vec.get(3)
+
+    def test_or_update(self):
+        a, b = BitVector(64), BitVector(64)
+        a.set(1)
+        b.set(1)
+        b.set(2)
+        a.or_update(b)
+        assert a.ones == 2
+        assert a.get(2)
+
+    def test_or_update_size_mismatch(self):
+        with pytest.raises(ValueError):
+            BitVector(64).or_update(BitVector(128))
+
+    def test_copy_is_independent(self):
+        a = BitVector(64)
+        a.set(1)
+        b = a.copy()
+        b.set(2)
+        assert not a.get(2)
+        assert a.ones == 1
+        assert b.ones == 2
+
+    def test_equality(self):
+        a, b = BitVector(64), BitVector(64)
+        assert a == b
+        a.set(0)
+        assert a != b
+        b.set(0)
+        assert a == b
+        assert a != BitVector(65)
+        assert a.__eq__(42) is NotImplemented
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        vec = BitVector(300)
+        vec.set_many(np.array([0, 5, 64, 299], dtype=np.uint64))
+        restored = BitVector.from_bytes(vec.to_bytes())
+        assert restored == vec
+        assert restored.ones == vec.ones
+        assert len(restored) == 300
+
+    def test_roundtrip_empty(self):
+        vec = BitVector(64)
+        assert BitVector.from_bytes(vec.to_bytes()) == vec
+
+    def test_corrupt_popcount_rejected(self):
+        vec = BitVector(64)
+        vec.set(0)
+        data = bytearray(vec.to_bytes())
+        data[-1] ^= 0xFF  # flip bits in the word payload
+        with pytest.raises(ValueError):
+            BitVector.from_bytes(bytes(data))
+
+    def test_truncated_payload_rejected(self):
+        vec = BitVector(200)
+        with pytest.raises(ValueError):
+            BitVector.from_bytes(vec.to_bytes()[:-8])
+
+    @given(st.lists(st.integers(0, 199), max_size=100))
+    def test_roundtrip_property(self, indices):
+        vec = BitVector(200)
+        vec.set_many(np.asarray(indices, dtype=np.uint64))
+        assert BitVector.from_bytes(vec.to_bytes()) == vec
+
+    def test_words_view_is_readonly(self):
+        vec = BitVector(64)
+        with pytest.raises(ValueError):
+            vec.words[0] = 1

@@ -1,0 +1,136 @@
+"""Edge cases and failure injection across the library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Bitmap,
+    BitVector,
+    HyperLogLog,
+    KMinValues,
+    SelfMorphingBitmap,
+)
+from repro.streams import distinct_items
+
+
+class TestExtremeConfigurations:
+    def test_smb_threshold_one(self):
+        # T=1: a round per new bit; the most aggressive morphing.
+        smb = SelfMorphingBitmap(64, threshold=1, seed=0)
+        smb.record_many(distinct_items(1_000, seed=1))
+        assert np.isfinite(smb.query())
+        assert smb.r <= smb.max_rounds
+
+    def test_smb_minimum_memory(self):
+        smb = SelfMorphingBitmap(4, threshold=2, seed=0)
+        smb.record("a")
+        assert smb.query() >= 0
+
+    def test_tiny_hll(self):
+        hll = HyperLogLog(5, seed=0)  # a single register
+        hll.record_many(distinct_items(100, seed=2))
+        assert hll.query() > 0
+
+    def test_bitmap_two_bits(self):
+        bitmap = Bitmap(2, seed=0)
+        bitmap.record_many(distinct_items(100, seed=3))
+        assert np.isfinite(bitmap.query())
+
+    def test_kmv_minimum_k(self):
+        kmv = KMinValues(2, seed=0)
+        kmv.record_many(distinct_items(1_000, seed=4))
+        assert kmv.query() > 0
+
+
+class TestItemTypes:
+    def test_unicode_strings(self):
+        smb = SelfMorphingBitmap(500, threshold=50)
+        for item in ("héllo", "мир", "世界", "🚀"):
+            smb.record(item)
+        assert smb.query() == pytest.approx(4, rel=0.3)
+
+    def test_empty_string_and_bytes(self):
+        smb = SelfMorphingBitmap(500, threshold=50)
+        smb.record("")
+        smb.record(b"")
+        # "" and b"" canonicalize identically (same FNV over no bytes).
+        assert smb.query() == pytest.approx(1, rel=0.3)
+
+    def test_numpy_integer_items(self):
+        smb = SelfMorphingBitmap(500, threshold=50)
+        smb.record(np.uint64(5))
+        smb.record(np.int32(5))
+        assert smb.query() == pytest.approx(1, rel=0.3)
+
+    def test_huge_python_int_masked(self):
+        smb = SelfMorphingBitmap(500, threshold=50)
+        smb.record(2**200 + 7)
+        smb.record((2**200 + 7) & ((1 << 64) - 1))
+        assert smb.query() == pytest.approx(1, rel=0.3)
+
+    def test_generator_input_to_record_many(self):
+        smb = SelfMorphingBitmap(500, threshold=50)
+        smb.record_many(str(i) for i in range(100))
+        assert smb.query() == pytest.approx(100, rel=0.25)
+
+
+class TestBitVectorFuzz:
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(min_size=0, max_size=64))
+    def test_random_garbage_rejected_or_consistent(self, data):
+        try:
+            vec = BitVector.from_bytes(data)
+        except (ValueError, IndexError, Exception):
+            return
+        # If parsing succeeded, the invariants must hold.
+        assert vec.ones <= len(vec)
+
+    def test_header_only(self):
+        vec = BitVector(64)
+        header_only = vec.to_bytes()[:16]
+        with pytest.raises(ValueError):
+            BitVector.from_bytes(header_only + b"")
+
+
+class TestMassiveDuplication:
+    def test_single_item_repeated_many_times(self):
+        smb = SelfMorphingBitmap(1_000, threshold=100)
+        smb.record_many(np.zeros(100_000, dtype=np.uint64))
+        assert smb.query() == pytest.approx(1, abs=1.5)
+        assert smb.r == 0  # one bit set, no morphing
+
+    def test_low_cardinality_high_volume(self):
+        smb = SelfMorphingBitmap(1_000, threshold=100)
+        stream = np.tile(distinct_items(50, seed=5), 2_000)
+        smb.record_many(stream)
+        assert smb.query() == pytest.approx(50, rel=0.25)
+
+
+class TestSmbBoundaryRounds:
+    def test_exact_threshold_boundary_batches(self):
+        # Feed batches sized exactly at the remaining-to-threshold
+        # count repeatedly; rounds must advance cleanly.
+        smb = SelfMorphingBitmap(200, threshold=20, seed=0)
+        scalar = SelfMorphingBitmap(200, threshold=20, seed=0)
+        items = distinct_items(2_000, seed=6)
+        offset = 0
+        rng = np.random.default_rng(0)
+        while offset < items.size:
+            size = int(rng.integers(1, 40))
+            smb.record_many(items[offset:offset + size])
+            offset += size
+        for item in items.tolist():
+            scalar.record(item)
+        assert (smb.r, smb.v) == (scalar.r, scalar.v)
+        assert smb._bits == scalar._bits
+
+    def test_batch_size_one(self):
+        smb = SelfMorphingBitmap(100, threshold=10, seed=0)
+        scalar = SelfMorphingBitmap(100, threshold=10, seed=0)
+        items = distinct_items(500, seed=7)
+        for item in items:
+            smb.record_many(np.asarray([item], dtype=np.uint64))
+            scalar.record(int(item))
+        assert (smb.r, smb.v) == (scalar.r, scalar.v)

@@ -1,0 +1,174 @@
+"""Generic contract tests that every estimator must satisfy.
+
+These run against the full estimator zoo (see conftest.py): the SMB
+core, every baseline, and the exact counter.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ExactCounter, HyperLogLogTailCut
+from repro.streams import distinct_items
+
+item_lists = st.lists(st.integers(0, 2**64 - 1), min_size=0, max_size=400)
+
+
+class TestBasicContract:
+    def test_empty_estimate_is_zero(self, estimator_factory):
+        estimator = estimator_factory()
+        assert estimator.query() == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_item(self, estimator_factory):
+        estimator = estimator_factory()
+        estimator.record("item")
+        assert estimator.query() == pytest.approx(1.0, rel=0.5)
+
+    def test_accepts_int_str_bytes(self, estimator_factory):
+        estimator = estimator_factory()
+        estimator.record(42)
+        estimator.record("string")
+        estimator.record(b"bytes")
+        assert estimator.query() > 0
+
+    def test_rejects_floats(self, estimator_factory):
+        estimator = estimator_factory()
+        with pytest.raises(TypeError):
+            estimator.record(1.5)
+
+    def test_memory_bits_positive(self, estimator_factory):
+        estimator = estimator_factory()
+        estimator.record("x")
+        assert estimator.memory_bits() > 0
+
+    def test_query_does_not_mutate(self, estimator_factory):
+        estimator = estimator_factory()
+        estimator.record_many(distinct_items(500, seed=3))
+        first = estimator.query()
+        for __ in range(5):
+            assert estimator.query() == first
+
+    def test_repr(self, estimator_factory):
+        estimator = estimator_factory()
+        assert type(estimator).__name__ in repr(estimator)
+
+
+class TestDuplicateInsensitivity:
+    """Theorem 2 (for SMB) and its analogue for every other estimator:
+    re-recording an already-seen item never changes the estimate."""
+
+    def test_duplicates_do_not_change_estimate(self, estimator_factory):
+        estimator = estimator_factory()
+        items = distinct_items(1000, seed=1)
+        estimator.record_many(items)
+        before = estimator.query()
+        estimator.record_many(items)  # replay the whole stream
+        estimator.record_many(items[::7])
+        assert estimator.query() == before
+
+    def test_interleaved_duplicates(self, estimator_factory):
+        stream = ["a", "b", "a", "c", "b", "a", "c", "c"]
+        deduped = ["a", "b", "c"]
+        first = estimator_factory()
+        for item in stream:
+            first.record(item)
+        second = estimator_factory()
+        for item in deduped:
+            second.record(item)
+        assert first.query() == second.query()
+
+
+class TestBatchEquivalence:
+    """record_many must match a sequential record loop."""
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
+    )
+    @given(items=item_lists)
+    def test_batch_equals_scalar(self, estimator_factory, items):
+        batch = estimator_factory()
+        scalar = estimator_factory()
+        batch.record_many(np.asarray(items, dtype=np.uint64))
+        for item in items:
+            scalar.record(item)
+        if isinstance(batch, HyperLogLogTailCut):
+            # The tail-cut base may normalize at chunk rather than item
+            # granularity; states agree except on a 2^-15 tail event.
+            assert batch.query() == pytest.approx(scalar.query(), rel=1e-6)
+        else:
+            assert batch.query() == scalar.query()
+
+    def test_batch_equals_scalar_large(self, estimator_factory):
+        items = distinct_items(20_000, seed=9)
+        batch = estimator_factory()
+        scalar = estimator_factory()
+        batch.record_many(items)
+        scalar.record_many(items.tolist())  # list path still canonicalizes
+        assert batch.query() == pytest.approx(scalar.query(), rel=1e-9)
+
+    def test_split_batches_equal_one_batch(self, estimator_factory):
+        items = distinct_items(5000, seed=4)
+        whole = estimator_factory()
+        whole.record_many(items)
+        parts = estimator_factory()
+        for start in range(0, items.size, 613):
+            parts.record_many(items[start:start + 613])
+        assert parts.query() == pytest.approx(whole.query(), rel=1e-9)
+
+    def test_empty_batch_is_noop(self, estimator_factory):
+        estimator = estimator_factory()
+        estimator.record_many(np.array([], dtype=np.uint64))
+        assert estimator.query() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestAccuracy:
+    """Every estimator must be in the right ballpark at its design scale."""
+
+    @pytest.mark.parametrize("n", [100, 1000, 10_000])
+    def test_reasonable_estimates(self, estimator_factory, n):
+        errors = []
+        for seed in range(5):
+            estimator = estimator_factory(seed=seed)
+            estimator.record_many(distinct_items(n, seed=seed + 50))
+            errors.append(abs(estimator.query() - n) / n)
+        # Loose gate: mean relative error under 35% for every estimator
+        # (KMV with k=78 is the weakest; the rest sit well below 10%).
+        assert float(np.mean(errors)) < 0.35
+
+    def test_monotone_in_cardinality(self, estimator_factory):
+        # More distinct items should (statistically) raise the estimate.
+        small = estimator_factory(seed=2)
+        small.record_many(distinct_items(500, seed=11))
+        large = estimator_factory(seed=2)
+        large.record_many(distinct_items(50_000, seed=11))
+        assert large.query() > small.query()
+
+
+class TestInstrumentation:
+    def test_counters_accumulate_and_reset(self, estimator_factory):
+        estimator = estimator_factory()
+        if isinstance(estimator, ExactCounter):
+            pytest.skip("exact counter does not hash")
+        estimator.record_many(distinct_items(1000, seed=5))
+        assert estimator.hash_ops > 0
+        estimator.reset_counters()
+        assert estimator.hash_ops == 0
+        assert estimator.bits_accessed == 0
+
+    def test_scalar_and_batch_count_same_hash_ops(self, estimator_factory):
+        estimator = estimator_factory()
+        if isinstance(estimator, ExactCounter):
+            pytest.skip("exact counter does not hash")
+        items = distinct_items(2000, seed=6)
+        batch = estimator_factory()
+        batch.record_many(items)
+        scalar = estimator_factory()
+        for item in items.tolist():
+            scalar.record(item)
+        assert batch.hash_ops == scalar.hash_ops

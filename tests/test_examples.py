@@ -1,0 +1,36 @@
+"""Smoke tests: every shipped example must run clean and tell its story."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+#: (script, substring its output must contain)
+CASES = [
+    ("quickstart.py", "SMB estimate"),
+    ("scan_detection.py", "detected 5/5 planted scanners"),
+    ("ddos_detection.py", "DDoS ALERT"),
+    ("keyword_popularity.py", "serialized 'weather' estimator"),
+    ("caida_report.py", "mean relative error"),
+    ("massive_flows.py", "per-flow SMB"),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert expected in result.stdout
+
+
+def test_every_example_is_covered():
+    shipped = {path.name for path in EXAMPLES.glob("*.py")}
+    assert shipped == {script for script, __ in CASES}

@@ -1,0 +1,155 @@
+"""Tests for the §II-B extension estimators: HLL-TailC+ and Refined HLL."""
+
+import numpy as np
+import pytest
+
+from repro.estimators import (
+    HyperLogLogTailCut,
+    HyperLogLogTailCutPlus,
+    RefinedHyperLogLog,
+)
+from repro.estimators.hll_tailcut_plus import OFFSET_MAX
+from repro.streams import distinct_items
+
+
+class TestTailCutPlus:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HyperLogLogTailCutPlus(2)
+
+    def test_more_registers_than_tailcut(self):
+        assert HyperLogLogTailCutPlus(6000).t > HyperLogLogTailCut(6000).t
+        assert HyperLogLogTailCutPlus(6000).memory_bits() == 6000
+
+    def test_offsets_bounded_3_bits(self):
+        sketch = HyperLogLogTailCutPlus(300, seed=0)
+        sketch.record_many(distinct_items(500_000, seed=1))
+        assert int(sketch._offsets.max()) <= OFFSET_MAX
+        # Normalization invariant: some offset is always zero... unless
+        # every register is censored, which 500k items cannot cause.
+        assert int(sketch._offsets.min()) == 0
+
+    def test_empty_query_is_zero(self):
+        assert HyperLogLogTailCutPlus(3000).query() == 0.0
+
+    def test_mle_accuracy(self):
+        for n in (5_000, 100_000):
+            errors = []
+            for seed in range(5):
+                sketch = HyperLogLogTailCutPlus(5000, seed=seed)
+                sketch.record_many(distinct_items(n, seed=seed + 200))
+                errors.append(abs(sketch.query() - n) / n)
+            assert float(np.mean(errors)) < 0.12, f"n={n}"
+
+    def test_query_is_expensive(self):
+        # The offline query must evaluate the likelihood many times:
+        # it is orders of magnitude slower than SMB's O(1) query.
+        import time
+
+        from repro import SelfMorphingBitmap
+
+        plus = HyperLogLogTailCutPlus(5000, seed=0)
+        smb = SelfMorphingBitmap(5000, threshold=384, seed=0)
+        items = distinct_items(50_000, seed=2)
+        plus.record_many(items)
+        smb.record_many(items)
+        start = time.perf_counter()
+        for __ in range(5):
+            plus.query()
+        plus_time = time.perf_counter() - start
+        start = time.perf_counter()
+        for __ in range(5):
+            smb.query()
+        smb_time = time.perf_counter() - start
+        assert plus_time > 20 * smb_time
+
+    def test_merge_and_roundtrip(self):
+        items = distinct_items(20_000, seed=3)
+        a = HyperLogLogTailCutPlus(3000, seed=1)
+        b = HyperLogLogTailCutPlus(3000, seed=1)
+        a.record_many(items[:12_000])
+        b.record_many(items[8_000:])
+        union = HyperLogLogTailCutPlus(3000, seed=1)
+        union.record_many(items)
+        a.merge(b)
+        # 3-bit censoring makes merge approximate: saturated offsets
+        # carry only ">= base + 7", so the union of two sketches can
+        # differ slightly from the sketch of the union.
+        assert a.query() == pytest.approx(union.query(), rel=0.05)
+        restored = HyperLogLogTailCutPlus.from_bytes(a.to_bytes())
+        assert restored.base == a.base
+        assert restored.query() == a.query()
+
+    def test_duplicates_ignored(self):
+        sketch = HyperLogLogTailCutPlus(3000, seed=0)
+        items = distinct_items(1000, seed=4)
+        sketch.record_many(items)
+        before = sketch.query()
+        sketch.record_many(items)
+        assert sketch.query() == before
+
+
+class TestRefinedHLL:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RefinedHyperLogLog(3)
+        with pytest.raises(ValueError):
+            RefinedHyperLogLog(1000, base=1.0)
+
+    def test_query_requires_learning(self):
+        sketch = RefinedHyperLogLog(5000)
+        sketch.record_many(distinct_items(1000, seed=5))
+        with pytest.raises(RuntimeError, match="learn"):
+            sketch.query()
+
+    def test_level_distribution(self):
+        # P(G' = i) = (1 - 1/b)·b^-i for base b.
+        sketch = RefinedHyperLogLog(5000, base=4.0, seed=0)
+        hashed = sketch._level_hash.hash_array(
+            np.arange(1 << 16, dtype=np.uint64)
+        )
+        levels = sketch._level_array(hashed)
+        for level in range(3):
+            frac = float(np.count_nonzero(levels == level)) / levels.size
+            expected = 0.75 * 4.0 ** -level
+            assert abs(frac - expected) < 0.2 * expected
+
+    def test_base2_matches_standard_ladder(self):
+        sketch = RefinedHyperLogLog(5000, base=2.0, seed=0)
+        # Scalar base-2 path delegates to trailing zeros.
+        assert sketch._level_u64(0b1000) == 3
+
+    def test_learned_coefficient_gives_accuracy(self):
+        n = 100_000
+        sketch = RefinedHyperLogLog(5000, base=4.0, seed=1)
+        coefficient = sketch.learn(
+            distinct_items(50_000, seed=6), true_cardinality=50_000
+        )
+        assert coefficient > 0
+        sketch.record_many(distinct_items(n, seed=7))
+        assert sketch.query() == pytest.approx(n, rel=0.25)
+
+    def test_learn_validation(self):
+        sketch = RefinedHyperLogLog(5000)
+        with pytest.raises(ValueError):
+            sketch.learn(distinct_items(10, seed=8), true_cardinality=0)
+
+    def test_scalar_matches_batch(self):
+        items = distinct_items(2000, seed=9)
+        batch = RefinedHyperLogLog(2500, base=4.0, seed=2)
+        scalar = RefinedHyperLogLog(2500, base=4.0, seed=2)
+        batch.record_many(items)
+        for item in items.tolist():
+            scalar.record(item)
+        assert np.array_equal(batch._registers, scalar._registers)
+
+    def test_merge(self):
+        items = distinct_items(5000, seed=10)
+        a = RefinedHyperLogLog(2500, seed=3)
+        b = RefinedHyperLogLog(2500, seed=3)
+        a.record_many(items[:3000])
+        b.record_many(items[2000:])
+        union = RefinedHyperLogLog(2500, seed=3)
+        union.record_many(items)
+        a.merge(b)
+        assert np.array_equal(a._registers, union._registers)

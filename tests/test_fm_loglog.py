@@ -1,0 +1,120 @@
+"""Tests for the FM/PCSA sketch and the LogLog family."""
+
+import numpy as np
+import pytest
+
+from repro import FMSketch, LogLog, SuperLogLog
+from repro.estimators.fm import PHI, REGISTER_BITS
+from repro.estimators.loglog import ALPHA_LOGLOG, ALPHA_SUPERLOGLOG
+from repro.streams import distinct_items
+
+
+class TestFMSketch:
+    def test_register_count(self):
+        assert FMSketch(5000).t == 5000 // 32
+        assert FMSketch(5000).memory_bits() == (5000 // 32) * 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FMSketch(16)
+
+    def test_registers_fill_low_bits_first(self):
+        fm = FMSketch(3200, seed=0)
+        fm.record_many(distinct_items(10_000, seed=1))
+        registers = fm.registers
+        # Bit 0 is set in essentially every register (P(miss) ~ 2^-50).
+        assert np.all(registers & 1)
+        # High bits (e.g. 25+) should be almost entirely clear.
+        high = registers >> np.uint32(25)
+        assert np.count_nonzero(high) < registers.size // 4
+
+    def test_estimate_tracks_cardinality(self):
+        for n in (10_000, 100_000):
+            errors = []
+            for seed in range(5):
+                fm = FMSketch(5000, seed=seed)
+                fm.record_many(distinct_items(n, seed=seed + 10))
+                errors.append(abs(fm.query() - n) / n)
+            assert float(np.mean(errors)) < 0.1, f"n={n}"
+
+    def test_small_range_linear_counting(self):
+        fm = FMSketch(5000, seed=0)
+        for i in range(20):
+            fm.record(i)
+        assert fm.query() == pytest.approx(20, rel=0.3)
+
+    def test_phi_constant(self):
+        assert PHI == pytest.approx(0.77351)
+        assert REGISTER_BITS == 32
+
+    def test_roundtrip_and_merge(self):
+        items = distinct_items(5000, seed=2)
+        a, b = FMSketch(3200, seed=1), FMSketch(3200, seed=1)
+        a.record_many(items[:3000])
+        b.record_many(items[2500:])
+        restored = FMSketch.from_bytes(a.to_bytes())
+        assert restored.query() == a.query()
+        union = FMSketch(3200, seed=1)
+        union.record_many(items)
+        a.merge(b)
+        assert a.query() == union.query()
+
+
+class TestLogLogFamily:
+    def test_register_count(self):
+        assert LogLog(5000).t == 1000
+        assert SuperLogLog(5000).t == 1000
+
+    def test_registers_bounded_5_bits(self):
+        sketch = LogLog(500, seed=0)
+        sketch.record_many(distinct_items(100_000, seed=3))
+        assert int(sketch.registers.max()) <= 31
+
+    def test_loglog_constant(self):
+        assert ALPHA_LOGLOG == pytest.approx(0.39701)
+
+    def test_superloglog_truncation_reduces_variance(self):
+        n = 100_000
+        loglog_errors, super_errors = [], []
+        for seed in range(12):
+            ll, sll = LogLog(2500, seed=seed), SuperLogLog(2500, seed=seed)
+            items = distinct_items(n, seed=seed + 70)
+            ll.record_many(items)
+            sll.record_many(items)
+            loglog_errors.append(abs(ll.query() - n) / n)
+            super_errors.append(abs(sll.query() - n) / n)
+        assert float(np.mean(super_errors)) <= float(np.mean(loglog_errors)) * 1.25
+
+    def test_superloglog_unbiased_after_calibration(self):
+        n = 50_000
+        estimates = []
+        for seed in range(10):
+            sketch = SuperLogLog(5000, seed=seed)
+            sketch.record_many(distinct_items(n, seed=seed + 80))
+            estimates.append(sketch.query())
+        assert float(np.mean(estimates)) == pytest.approx(n, rel=0.05)
+        assert 0.7 < ALPHA_SUPERLOGLOG < 0.85
+
+    def test_small_range_linear_counting(self):
+        for cls in (LogLog, SuperLogLog):
+            sketch = cls(5000, seed=0)
+            for i in range(30):
+                sketch.record(i)
+            assert sketch.query() == pytest.approx(30, rel=0.25)
+
+    def test_serialization_distinguishes_types(self):
+        ll = LogLog(500, seed=1)
+        ll.record_many(distinct_items(100, seed=4))
+        with pytest.raises(ValueError):
+            SuperLogLog.from_bytes(ll.to_bytes())
+        assert LogLog.from_bytes(ll.to_bytes()).query() == ll.query()
+
+    def test_merge_is_union(self):
+        items = distinct_items(20_000, seed=5)
+        a, b = SuperLogLog(2500, seed=1), SuperLogLog(2500, seed=1)
+        a.record_many(items[:12_000])
+        b.record_many(items[8_000:])
+        union = SuperLogLog(2500, seed=1)
+        union.record_many(items)
+        a.merge(b)
+        assert a.query() == union.query()

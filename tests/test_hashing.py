@@ -1,0 +1,205 @@
+"""Unit and property tests for the hashing substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import (
+    MASK64,
+    GeometricHash,
+    UniformHash,
+    canonical_u64,
+    canonical_u64_array,
+    fnv1a64,
+    splitmix64,
+    splitmix64_array,
+    trailing_zeros,
+    trailing_zeros_array,
+)
+
+u64s = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestSplitmix64:
+    def test_known_vector(self):
+        # Reference values from the canonical splitmix64 implementation
+        # seeded with state 0 and 1.
+        assert splitmix64(0) == 0xE220A8397B1DCDAF
+        assert splitmix64(1) == 0x910A2DEC89025CC1
+
+    def test_range(self):
+        for x in (0, 1, 2**63, MASK64):
+            assert 0 <= splitmix64(x) <= MASK64
+
+    @given(u64s)
+    def test_deterministic(self, x):
+        assert splitmix64(x) == splitmix64(x)
+
+    @given(st.lists(u64s, min_size=1, max_size=100))
+    def test_array_matches_scalar(self, xs):
+        arr = np.asarray(xs, dtype=np.uint64)
+        out = splitmix64_array(arr)
+        expected = [splitmix64(x) for x in xs]
+        assert out.tolist() == expected
+
+    def test_array_does_not_modify_input(self):
+        arr = np.arange(10, dtype=np.uint64)
+        original = arr.copy()
+        splitmix64_array(arr)
+        assert np.array_equal(arr, original)
+
+    def test_avalanche(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        rng = np.random.default_rng(0)
+        xs = rng.integers(0, 1 << 64, size=200, dtype=np.uint64)
+        flips = []
+        for x in xs.tolist():
+            bit = int(rng.integers(0, 64))
+            diff = splitmix64(x) ^ splitmix64(x ^ (1 << bit))
+            flips.append(bin(diff).count("1"))
+        mean_flips = np.mean(flips)
+        assert 24 < mean_flips < 40
+
+
+class TestFnv1a:
+    def test_known_vectors(self):
+        # Published FNV-1a 64 test vectors.
+        assert fnv1a64(b"") == 0xCBF29CE484222325
+        assert fnv1a64(b"a") == 0xAF63DC4C8601EC8C
+        assert fnv1a64(b"foobar") == 0x85944171F73967E8
+
+    def test_distinct_strings_distinct_hashes(self):
+        hashes = {fnv1a64(f"item-{i}".encode()) for i in range(10000)}
+        assert len(hashes) == 10000
+
+
+class TestCanonical:
+    def test_int_passthrough(self):
+        assert canonical_u64(42) == 42
+        assert canonical_u64(0) == 0
+        assert canonical_u64(MASK64) == MASK64
+
+    def test_negative_int_masked(self):
+        assert canonical_u64(-1) == MASK64
+
+    def test_numpy_integer(self):
+        assert canonical_u64(np.uint64(7)) == 7
+        assert canonical_u64(np.int32(-1)) == MASK64
+
+    def test_str_and_bytes_agree(self):
+        assert canonical_u64("hello") == canonical_u64(b"hello")
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            canonical_u64(3.14)
+        with pytest.raises(TypeError):
+            canonical_u64(None)
+
+    def test_array_uint64_passthrough(self):
+        arr = np.arange(5, dtype=np.uint64)
+        assert canonical_u64_array(arr) is arr
+
+    def test_array_from_int_list(self):
+        out = canonical_u64_array([1, 2, 3])
+        assert out.dtype == np.uint64
+        assert out.tolist() == [1, 2, 3]
+
+    def test_array_from_strings(self):
+        out = canonical_u64_array(["a", "b"])
+        assert out.tolist() == [canonical_u64("a"), canonical_u64("b")]
+
+    def test_array_rejects_float_dtype(self):
+        with pytest.raises(TypeError):
+            canonical_u64_array(np.ones(3))
+
+
+class TestUniformHash:
+    def test_seeds_give_different_functions(self):
+        h0, h1 = UniformHash(0), UniformHash(1)
+        xs = list(range(100))
+        assert [h0.hash_u64(x) for x in xs] != [h1.hash_u64(x) for x in xs]
+
+    def test_same_seed_same_function(self):
+        assert UniformHash(5).hash_u64(123) == UniformHash(5).hash_u64(123)
+
+    @given(st.lists(u64s, min_size=1, max_size=50), st.integers(0, 2**32))
+    def test_array_matches_scalar(self, xs, seed):
+        h = UniformHash(seed)
+        arr = np.asarray(xs, dtype=np.uint64)
+        assert h.hash_array(arr).tolist() == [h.hash_u64(x) for x in xs]
+
+    def test_hash_item_string(self):
+        h = UniformHash(0)
+        assert h.hash_item("abc") == h.hash_u64(canonical_u64("abc"))
+
+    def test_uniformity_chi_squared(self):
+        # Bucket 64-bit hashes into 64 buckets; chi^2 should be sane.
+        h = UniformHash(7)
+        values = h.hash_array(np.arange(64_000, dtype=np.uint64))
+        buckets = (values >> np.uint64(58)).astype(int)
+        counts = np.bincount(buckets, minlength=64)
+        expected = 1000.0
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        # 63 degrees of freedom: p=0.001 critical value is ~103.
+        assert chi2 < 110
+
+
+class TestTrailingZeros:
+    def test_basics(self):
+        assert trailing_zeros(0) == 64
+        assert trailing_zeros(1) == 0
+        assert trailing_zeros(2) == 1
+        assert trailing_zeros(8) == 3
+        assert trailing_zeros(1 << 63) == 63
+        assert trailing_zeros(0b1011000) == 3
+
+    @given(u64s)
+    def test_definition(self, x):
+        tz = trailing_zeros(x)
+        if x == 0:
+            assert tz == 64
+        else:
+            assert x % (1 << tz) == 0
+            assert (x >> tz) & 1 == 1
+
+    @given(st.lists(u64s, min_size=1, max_size=100))
+    def test_array_matches_scalar(self, xs):
+        arr = np.asarray(xs, dtype=np.uint64)
+        assert trailing_zeros_array(arr).tolist() == [trailing_zeros(x) for x in xs]
+
+
+class TestGeometricHash:
+    def test_scalar_matches_array(self):
+        g = GeometricHash(3)
+        xs = np.arange(1000, dtype=np.uint64)
+        arr = g.value_array(xs)
+        assert arr.tolist() == [g.value_u64(int(x)) for x in xs]
+
+    def test_distribution(self):
+        # P(G = i) = 2^-(i+1): check the first few levels over 2^17 items.
+        g = GeometricHash(11)
+        n = 1 << 17
+        values = g.value_array(np.arange(n, dtype=np.uint64))
+        for level in range(5):
+            frac = float(np.count_nonzero(values == level)) / n
+            expected = 2.0 ** -(level + 1)
+            assert abs(frac - expected) < 0.25 * expected
+
+    def test_sampling_probability(self):
+        # P(G >= r) = 2^-r (Lemma 1 of the paper).
+        g = GeometricHash(4)
+        n = 1 << 17
+        values = g.value_array(np.arange(n, dtype=np.uint64))
+        for r in range(1, 8):
+            frac = float(np.count_nonzero(values >= r)) / n
+            assert abs(frac - 2.0 ** -r) < 0.25 * 2.0 ** -r
+
+    def test_value_accepts_strings(self):
+        g = GeometricHash(0)
+        assert isinstance(g.value("hello"), int)
+
+    @settings(max_examples=25)
+    @given(st.integers(0, 2**32), u64s)
+    def test_deterministic(self, seed, x):
+        assert GeometricHash(seed).value_u64(x) == GeometricHash(seed).value_u64(x)

@@ -1,0 +1,163 @@
+"""Tests for HyperLogLog, HyperLogLog++ and HLL-TailC."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import HyperLogLog, HyperLogLogPlusPlus, HyperLogLogTailCut
+from repro.estimators.hll import MAX_RANK, _bias, alpha
+from repro.estimators.hll_tailcut import OFFSET_MAX
+from repro.streams import distinct_items
+
+
+class TestAlphaConstant:
+    def test_published_values(self):
+        assert alpha(16) == pytest.approx(0.673)
+        assert alpha(32) == pytest.approx(0.697)
+        assert alpha(64) == pytest.approx(0.709)
+        assert alpha(1024) == pytest.approx(0.7213 / (1 + 1.079 / 1024))
+
+    def test_monotone_towards_asymptote(self):
+        assert alpha(128) < alpha(100_000) < 0.7213
+
+
+class TestHyperLogLog:
+    def test_register_count(self):
+        assert HyperLogLog(5000).t == 1000
+        assert HyperLogLog(5000).memory_bits() == 5000
+
+    def test_registers_bounded(self):
+        hll = HyperLogLog(500, seed=0)
+        hll.record_many(distinct_items(200_000, seed=1))
+        assert int(hll.registers.max()) <= MAX_RANK
+
+    def test_small_range_uses_linear_counting(self):
+        hll = HyperLogLog(5000, seed=0)
+        for i in range(50):
+            hll.record(i)
+        zeros = int(np.count_nonzero(hll.registers == 0))
+        assert hll.query() == pytest.approx(1000 * math.log(1000 / zeros))
+
+    def test_accuracy(self):
+        for n in (1000, 100_000, 1_000_000):
+            errors = []
+            for seed in range(5):
+                hll = HyperLogLog(5000, seed=seed)
+                hll.record_many(distinct_items(n, seed=seed + 90))
+                errors.append(abs(hll.query() - n) / n)
+            # Published stderr is 1.04/sqrt(1000) = 3.3%.
+            assert float(np.mean(errors)) < 0.10, f"n={n}"
+
+    def test_merge_and_roundtrip(self):
+        items = distinct_items(50_000, seed=2)
+        a, b = HyperLogLog(2500, seed=1), HyperLogLog(2500, seed=1)
+        a.record_many(items[:30_000])
+        b.record_many(items[20_000:])
+        union = HyperLogLog(2500, seed=1)
+        union.record_many(items)
+        a.merge(b)
+        assert a.query() == union.query()
+        assert HyperLogLog.from_bytes(a.to_bytes()).query() == a.query()
+
+
+class TestHyperLogLogPlusPlus:
+    def test_bias_interpolation(self):
+        # Inside the calibrated range the bias is positive for low ratios.
+        assert _bias(1.2 * 1000, 1000) > 0
+        # Outside the range it is exactly zero.
+        assert _bias(100.0 * 1000, 1000) == 0.0
+        assert _bias(0.01 * 1000, 1000) == 0.0
+
+    def test_bias_correction_improves_mid_range(self):
+        # The awkward range: n between ~t and ~3t.
+        t = 1000
+        n = 2 * t
+        raw_errors, corrected_errors = [], []
+        for seed in range(15):
+            hll = HyperLogLog(5 * t, seed=seed)
+            hpp = HyperLogLogPlusPlus(5 * t, seed=seed)
+            items = distinct_items(n, seed=seed + 100)
+            hll.record_many(items)
+            hpp.record_many(items)
+            raw_errors.append(abs(hll._raw_estimate() - n) / n)
+            corrected_errors.append(abs(hpp.query() - n) / n)
+        assert float(np.mean(corrected_errors)) < float(np.mean(raw_errors))
+
+    def test_small_range_linear_counting(self):
+        hpp = HyperLogLogPlusPlus(5000, seed=0)
+        for i in range(100):
+            hpp.record(i)
+        assert hpp.query() == pytest.approx(100, rel=0.1)
+
+    def test_large_range_matches_hll(self):
+        # Far above 5t, HLL++ and HLL produce the same raw estimate.
+        items = distinct_items(500_000, seed=3)
+        hll, hpp = HyperLogLog(5000, seed=1), HyperLogLogPlusPlus(5000, seed=1)
+        hll.record_many(items)
+        hpp.record_many(items)
+        assert hpp.query() == hll.query()
+
+    def test_serialization_type_tag(self):
+        hpp = HyperLogLogPlusPlus(500, seed=1)
+        hpp.record("x")
+        with pytest.raises(ValueError):
+            HyperLogLog.from_bytes(hpp.to_bytes())
+        restored = HyperLogLogPlusPlus.from_bytes(hpp.to_bytes())
+        assert restored.query() == hpp.query()
+
+
+class TestHyperLogLogTailCut:
+    def test_register_count_is_m_over_4(self):
+        sketch = HyperLogLogTailCut(5000)
+        assert sketch.t == 1250
+        assert sketch.memory_bits() == 5000
+
+    def test_more_registers_than_hllpp_at_equal_memory(self):
+        assert HyperLogLogTailCut(5000).t > HyperLogLogPlusPlus(5000).t
+
+    def test_offsets_bounded_4_bits(self):
+        sketch = HyperLogLogTailCut(400, seed=0)
+        sketch.record_many(distinct_items(1_000_000, seed=4))
+        assert int(sketch.offsets.max()) <= OFFSET_MAX
+
+    def test_base_advances_for_large_streams(self):
+        sketch = HyperLogLogTailCut(400, seed=0)
+        sketch.record_many(distinct_items(1_000_000, seed=5))
+        assert sketch.base >= 1
+        # Invariant: after normalization some offset is zero.
+        assert int(sketch.offsets.min()) == 0
+
+    def test_recovered_registers_match_hll_semantics(self):
+        sketch = HyperLogLogTailCut(400, seed=0)
+        sketch.record_many(distinct_items(100_000, seed=6))
+        recovered = sketch._recovered_registers()
+        assert np.all(recovered >= sketch.base)
+        assert np.all(recovered <= sketch.base + OFFSET_MAX)
+
+    def test_accuracy(self):
+        for n in (1000, 100_000, 1_000_000):
+            errors = []
+            for seed in range(5):
+                sketch = HyperLogLogTailCut(5000, seed=seed)
+                sketch.record_many(distinct_items(n, seed=seed + 110))
+                errors.append(abs(sketch.query() - n) / n)
+            assert float(np.mean(errors)) < 0.10, f"n={n}"
+
+    def test_merge_handles_different_bases(self):
+        small = HyperLogLogTailCut(400, seed=1)
+        small.record_many(distinct_items(100, seed=7))
+        large = HyperLogLogTailCut(400, seed=1)
+        large.record_many(distinct_items(500_000, seed=8))
+        merged = HyperLogLogTailCut(400, seed=1)
+        merged.merge(small)
+        merged.merge(large)
+        # Union of a tiny and a huge stream ~ the huge stream.
+        assert merged.query() == pytest.approx(large.query(), rel=0.05)
+
+    def test_roundtrip_preserves_base(self):
+        sketch = HyperLogLogTailCut(400, seed=2)
+        sketch.record_many(distinct_items(300_000, seed=9))
+        restored = HyperLogLogTailCut.from_bytes(sketch.to_bytes())
+        assert restored.base == sketch.base
+        assert restored.query() == sketch.query()

@@ -1,0 +1,119 @@
+"""Tests for the K-Minimum-Values estimator and its set operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import KMinValues
+from repro.streams import distinct_items
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMinValues(1)
+
+    def test_for_memory(self):
+        sketch = KMinValues.for_memory(5000)
+        assert sketch.k == 78
+        assert sketch.memory_bits() == 78 * 64
+        with pytest.raises(ValueError):
+            KMinValues.for_memory(100)
+
+
+class TestEstimation:
+    def test_exact_below_k(self):
+        sketch = KMinValues(64, seed=0)
+        for i in range(40):
+            sketch.record(i)
+        assert sketch.query() == 40.0
+
+    def test_exact_below_k_with_duplicates(self):
+        sketch = KMinValues(64, seed=0)
+        for i in [1, 2, 3, 1, 2, 1]:
+            sketch.record(i)
+        assert sketch.query() == 3.0
+
+    def test_estimates_above_k(self):
+        errors = []
+        for seed in range(10):
+            sketch = KMinValues(256, seed=seed)
+            sketch.record_many(distinct_items(100_000, seed=seed + 120))
+            errors.append(abs(sketch.query() - 100_000) / 100_000)
+        # stderr ~ 1/sqrt(k-2) ~ 6%.
+        assert float(np.mean(errors)) < 0.15
+
+    def test_keeps_k_smallest(self):
+        sketch = KMinValues(8, seed=0)
+        sketch.record_many(distinct_items(10_000, seed=1))
+        values = sketch.values()
+        assert len(values) == 8
+        assert values == sorted(values)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 2**32), min_size=0, max_size=200))
+    def test_state_is_k_smallest_distinct_hashes(self, items):
+        sketch = KMinValues(16, seed=3)
+        for item in items:
+            sketch.record(item)
+        expected = sorted({sketch._hash.hash_u64(i & (2**64 - 1)) for i in items})[:16]
+        assert sketch.values() == expected
+
+
+class TestSetOperations:
+    def _pair(self, overlap=0.5, n=20_000, seed=0):
+        pool = distinct_items(int(n * (2 - overlap)), seed=seed)
+        cut = int(n * (1 - overlap))
+        a_items, b_items = pool[: n], pool[cut: cut + n]
+        a, b = KMinValues(512, seed=9), KMinValues(512, seed=9)
+        a.record_many(a_items)
+        b.record_many(b_items)
+        return a, b
+
+    def test_union_estimate(self):
+        a, b = self._pair(overlap=0.5)
+        union = a.union(b)
+        # |A ∪ B| = 1.5n for 50% overlap.
+        assert union.query() == pytest.approx(30_000, rel=0.15)
+
+    def test_jaccard(self):
+        a, b = self._pair(overlap=0.5)
+        # J = |A∩B|/|A∪B| = 0.5/1.5 = 1/3.
+        assert a.jaccard(b) == pytest.approx(1 / 3, abs=0.08)
+
+    def test_jaccard_identical(self):
+        a, b = self._pair(overlap=1.0)
+        assert a.jaccard(b) == pytest.approx(1.0, abs=0.01)
+
+    def test_jaccard_requires_same_seed(self):
+        with pytest.raises(ValueError):
+            KMinValues(8, seed=1).jaccard(KMinValues(8, seed=2))
+
+    def test_merge_is_union(self):
+        items = distinct_items(5000, seed=10)
+        a, b = KMinValues(64, seed=1), KMinValues(64, seed=1)
+        a.record_many(items[:3000])
+        b.record_many(items[2000:])
+        whole = KMinValues(64, seed=1)
+        whole.record_many(items)
+        a.merge(b)
+        assert a.values() == whole.values()
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        sketch = KMinValues(32, seed=5)
+        sketch.record_many(distinct_items(1000, seed=11))
+        restored = KMinValues.from_bytes(sketch.to_bytes())
+        assert restored.values() == sketch.values()
+        assert restored.query() == sketch.query()
+        # Restored sketch keeps recording correctly.
+        restored.record_many(distinct_items(1000, seed=12))
+        assert restored.query() > 0
+
+    def test_roundtrip_underfilled(self):
+        sketch = KMinValues(32, seed=5)
+        sketch.record("only-one")
+        restored = KMinValues.from_bytes(sketch.to_bytes())
+        assert restored.query() == 1.0

@@ -1,0 +1,104 @@
+"""Tests for the Multi-Resolution Bitmap estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import MultiResolutionBitmap
+from repro.streams import distinct_items
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiResolutionBitmap(1, 5)
+        with pytest.raises(ValueError):
+            MultiResolutionBitmap(100, 0)
+        with pytest.raises(ValueError):
+            MultiResolutionBitmap(100, 5, saturation=0)
+
+    def test_memory_bits(self):
+        assert MultiResolutionBitmap(416, 12).memory_bits() == 416 * 12
+
+    def test_for_workload_uses_table(self):
+        mrb = MultiResolutionBitmap.for_workload(5000, 1_000_000)
+        assert (mrb.b, mrb.k) == (416, 12)
+
+
+class TestLevelAssignment:
+    def test_level_distribution(self):
+        # P(level = i) = 2^-(i+1), last level absorbs the tail.
+        mrb = MultiResolutionBitmap(10_000, 6, seed=0)
+        mrb.record_many(distinct_items(30_000, seed=1))
+        counts = mrb.ones_per_component
+        # Component 0 should hold roughly half the items (minus
+        # collisions), and counts should be roughly geometric.
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_item_recorded_in_single_component(self):
+        mrb = MultiResolutionBitmap(1000, 8, seed=0)
+        mrb.record("item")
+        assert sum(mrb.ones_per_component) == 1
+
+
+class TestEstimation:
+    def test_small_stream_uses_base_zero(self):
+        mrb = MultiResolutionBitmap(1000, 8, seed=0)
+        mrb.record_many(distinct_items(100, seed=2))
+        assert mrb._base_level() == 0
+
+    def test_large_stream_advances_base(self):
+        mrb = MultiResolutionBitmap(416, 12, seed=0)
+        mrb.record_many(distinct_items(500_000, seed=3))
+        assert mrb._base_level() > 0
+
+    def test_accuracy_across_scales(self):
+        for n in (1000, 10_000, 100_000, 1_000_000):
+            errors = []
+            for seed in range(5):
+                mrb = MultiResolutionBitmap(416, 12, seed=seed)
+                mrb.record_many(distinct_items(n, seed=seed + 60))
+                errors.append(abs(mrb.query() - n) / n)
+            assert float(np.mean(errors)) < 0.25, f"n={n}"
+
+    def test_max_estimate(self):
+        mrb = MultiResolutionBitmap(100, 8)
+        expected = (2 ** 7) * 100 * math.log(100)
+        assert mrb.max_estimate() == pytest.approx(expected)
+
+    def test_estimate_formula_matches_eq2(self):
+        mrb = MultiResolutionBitmap(500, 6, seed=1)
+        mrb.record_many(distinct_items(2000, seed=4))
+        base = mrb._base_level()
+        expected = (2 ** base) * sum(
+            -500 * math.log(1 - min(u, 499) / 500)
+            for u in mrb.ones_per_component[base:]
+        )
+        assert mrb.query() == pytest.approx(expected)
+
+
+class TestSerializationAndMerge:
+    def test_roundtrip(self):
+        mrb = MultiResolutionBitmap(416, 12, seed=2)
+        mrb.record_many(distinct_items(10_000, seed=5))
+        restored = MultiResolutionBitmap.from_bytes(mrb.to_bytes())
+        assert restored.query() == mrb.query()
+        assert restored.ones_per_component == mrb.ones_per_component
+
+    def test_merge_is_union(self):
+        a = MultiResolutionBitmap(416, 12, seed=1)
+        b = MultiResolutionBitmap(416, 12, seed=1)
+        items = distinct_items(5000, seed=6)
+        a.record_many(items[:3000])
+        b.record_many(items[2000:])
+        union = MultiResolutionBitmap(416, 12, seed=1)
+        union.record_many(items)
+        a.merge(b)
+        assert a.query() == union.query()
+
+    def test_merge_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            MultiResolutionBitmap(416, 12, seed=1).merge(
+                MultiResolutionBitmap(416, 12, seed=2)
+            )

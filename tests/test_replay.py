@@ -1,0 +1,92 @@
+"""Tests for the online replay loop."""
+
+import numpy as np
+import pytest
+
+from repro import PerFlowSketch, SelfMorphingBitmap
+from repro.streams import distinct_items
+from repro.streams.replay import ReplayReport, first_packet_index, replay_online
+
+
+def _packets(flows: dict[int, int], seed: int = 0) -> np.ndarray:
+    """Interleaved packets: flow key -> cardinality."""
+    chunks = []
+    for key, cardinality in flows.items():
+        items = distinct_items(cardinality, seed=seed + key)
+        chunk = np.empty((cardinality, 2), dtype=np.uint64)
+        chunk[:, 0] = key
+        chunk[:, 1] = items
+        chunks.append(chunk)
+    packets = np.concatenate(chunks)
+    np.random.default_rng(seed).shuffle(packets, axis=0)
+    return packets
+
+
+def _sketch():
+    return PerFlowSketch(lambda: SelfMorphingBitmap(1_000, threshold=100))
+
+
+class TestReplayOnline:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replay_online(np.zeros((3, 3), dtype=np.uint64), _sketch(), 10)
+        with pytest.raises(ValueError):
+            replay_online(
+                np.zeros((3, 2), dtype=np.uint64), _sketch(), 10, query_every=0
+            )
+
+    def test_alarm_fires_for_large_flow_only(self):
+        packets = _packets({1: 5_000, 2: 50})
+        report = replay_online(packets, _sketch(), threshold=1_000)
+        assert 1 in report.alarms
+        assert 2 not in report.alarms
+        assert report.alarm_estimates[1] > 1_000
+
+    def test_alarm_index_is_timely(self):
+        # The alarm should fire while the flow is around the threshold,
+        # not at the end of the stream.
+        packets = _packets({1: 5_000})
+        report = replay_online(packets, _sketch(), threshold=1_000)
+        alarm_at = report.alarms[1]
+        assert 500 < alarm_at < 3_000
+
+    def test_query_cadence(self):
+        packets = _packets({1: 1_000})
+        dense = replay_online(packets, _sketch(), threshold=10**9)
+        sparse = replay_online(
+            packets, _sketch(), threshold=10**9, query_every=100
+        )
+        assert dense.queries == 1_000
+        assert sparse.queries == 10
+
+    def test_report_metrics(self):
+        packets = _packets({1: 2_000})
+        report = replay_online(packets, _sketch(), threshold=500)
+        assert report.packets == 2_000
+        assert report.seconds > 0
+        assert report.packets_per_second > 0
+
+    def test_alarm_latency(self):
+        packets = _packets({1: 3_000, 2: 10})
+        report = replay_online(packets, _sketch(), threshold=500)
+        first = first_packet_index(packets)
+        latency = report.alarm_latency(1, first)
+        assert latency > 0
+        with pytest.raises(KeyError):
+            report.alarm_latency(2, first)
+
+
+class TestFirstPacketIndex:
+    def test_basic(self):
+        packets = np.array(
+            [[5, 1], [7, 2], [5, 3], [9, 4]], dtype=np.uint64
+        )
+        assert first_packet_index(packets) == {5: 0, 7: 1, 9: 3}
+
+    def test_consistency_with_replay(self):
+        packets = _packets({1: 100, 2: 100, 3: 100})
+        first = first_packet_index(packets)
+        assert set(first) == {1, 2, 3}
+        for key, index in first.items():
+            assert int(packets[index, 0]) == key
+            assert not np.any(packets[:index, 0] == key)

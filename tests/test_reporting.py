@@ -1,0 +1,138 @@
+"""Tests for the table/series renderers of the experiment harness."""
+
+import csv
+import io
+
+import pytest
+
+from repro.bench.reporting import (
+    ascii_chart,
+    format_csv,
+    format_markdown,
+    format_number,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatNumber:
+    def test_ints_get_thousands_separators(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_large_floats_compact(self):
+        assert format_number(1.5e9) == "1.5e+09"
+
+    def test_small_floats_compact(self):
+        assert format_number(0.00012) == "0.00012"
+
+    def test_mid_floats(self):
+        assert format_number(3.14159) == "3.142"
+        assert format_number(1234.5) == "1,234"
+
+    def test_strings_pass_through(self):
+        assert format_number("SMB") == "SMB"
+
+    def test_bools_not_formatted_as_ints(self):
+        assert format_number(True) == "True"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_columns(self):
+        text = format_series("x", [1, 2], {"s1": [10, 20], "s2": [30, 40]})
+        assert "s1" in text and "s2" in text
+        assert "30" in text
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"s": [1]})
+
+
+class TestFormatMarkdown:
+    def test_structure(self):
+        text = format_markdown(["a", "b"], [[1, 2]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "**T**"
+        assert lines[2] == "| a | b |"
+        assert lines[3] == "|---|---|"
+        assert lines[4] == "| 1 | 2 |"
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            format_markdown(["a", "b"], [[1]])
+
+
+class TestFormatCsv:
+    def test_roundtrips_through_csv_reader(self):
+        text = format_csv(["x", "y"], [[1, 2.5], ["s", 4]])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["x", "y"]
+        assert rows[1] == ["1", "2.5"]
+        assert rows[2] == ["s", "4"]
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            format_csv(["a"], [[1, 2]])
+
+
+class TestAsciiChart:
+    def test_marks_and_legend(self):
+        text = ascii_chart(
+            [1, 2, 3, 4], {"up": [1, 2, 3, 4], "down": [4, 3, 2, 1]},
+            width=20, height=8,
+        )
+        assert "o up" in text and "x down" in text
+        assert text.count("o") >= 4
+
+    def test_log_axes(self):
+        text = ascii_chart(
+            [10, 100, 1000], {"s": [1.0, 10.0, 100.0]},
+            log_x=True, log_y=True, width=12, height=6,
+        )
+        # Log-log straight line: a mark in the first and last column.
+        rows = [line.split("|", 1)[1] for line in text.splitlines()
+                if "|" in line]
+        assert any(row[0] == "o" for row in rows)
+        assert any(row.rstrip().endswith("o") for row in rows)
+
+    def test_title(self):
+        text = ascii_chart([1, 2], {"s": [1, 2]}, title="My Figure")
+        assert text.splitlines()[0] == "My Figure"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"s": [1]})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [1]})
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_chart([1, 2, 3], {"flat": [5, 5, 5]})
+        assert "o" in text
+
+    def test_none_points_skipped(self):
+        text = ascii_chart([1, 2, 3], {"gappy": [1, None, 3]})
+        assert "o" in text

@@ -1,0 +1,123 @@
+"""Tests for merge algebra and derived set operations."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Bitmap,
+    FMSketch,
+    HyperLogLog,
+    KMinValues,
+    MultiResolutionBitmap,
+    SuperLogLog,
+)
+from repro.estimators.setops import (
+    clone,
+    intersection_cardinality,
+    jaccard_similarity,
+    union_cardinality,
+)
+from repro.streams import distinct_items
+
+MERGEABLE = [
+    ("bitmap", lambda: Bitmap(20_000, seed=2)),
+    ("mrb", lambda: MultiResolutionBitmap(1_000, 10, seed=2)),
+    ("fm", lambda: FMSketch(6_400, seed=2)),
+    ("superloglog", lambda: SuperLogLog(5_000, seed=2)),
+    ("hll", lambda: HyperLogLog(5_000, seed=2)),
+    ("kmv", lambda: KMinValues(256, seed=2)),
+]
+
+
+@pytest.fixture(params=MERGEABLE, ids=[name for name, __ in MERGEABLE])
+def mergeable_factory(request):
+    return request.param[1]
+
+
+def _overlapping_pair(factory, n=8_000, overlap=0.5, seed=0):
+    pool = distinct_items(int(n * (2 - overlap)), seed=seed)
+    cut = int(n * (1 - overlap))
+    a, b = factory(), factory()
+    a.record_many(pool[:n])
+    b.record_many(pool[cut:cut + n])
+    return a, b, pool
+
+
+class TestMergeAlgebra:
+    def test_commutative(self, mergeable_factory):
+        a1, b1, __ = _overlapping_pair(mergeable_factory, seed=1)
+        a2, b2, __ = _overlapping_pair(mergeable_factory, seed=1)
+        a1.merge(b1)
+        b2.merge(a2)
+        assert a1.query() == b2.query()
+
+    def test_identity(self, mergeable_factory):
+        a, __, ___ = _overlapping_pair(mergeable_factory, seed=2)
+        before = a.query()
+        a.merge(mergeable_factory())  # merge with empty sketch
+        assert a.query() == before
+
+    def test_idempotent(self, mergeable_factory):
+        a, __, ___ = _overlapping_pair(mergeable_factory, seed=3)
+        before = a.query()
+        a.merge(clone(a))
+        assert a.query() == before
+
+    def test_associative(self, mergeable_factory):
+        streams = [distinct_items(2_000, seed=10 + i) for i in range(3)]
+
+        def merged(order):
+            total = mergeable_factory()
+            for index in order:
+                part = mergeable_factory()
+                part.record_many(streams[index])
+                total.merge(part)
+            return total.query()
+
+        assert merged([0, 1, 2]) == merged([2, 0, 1])
+
+
+class TestClone:
+    def test_clone_is_independent(self, mergeable_factory):
+        a = mergeable_factory()
+        a.record_many(distinct_items(500, seed=4))
+        copy = clone(a)
+        copy.record_many(distinct_items(500, seed=5))
+        assert copy.query() > a.query()
+
+
+class TestSetOperations:
+    def test_union(self, mergeable_factory):
+        a, b, __ = _overlapping_pair(mergeable_factory, overlap=0.5, seed=6)
+        # |A ∪ B| = 1.5n.
+        assert union_cardinality(a, b) == pytest.approx(12_000, rel=0.2)
+        # Non-mutating: a's own estimate must be unchanged by the union
+        # (loose band — this guards against mutation, not accuracy;
+        # FM's mean-z estimate carries a visible bias at low load).
+        assert a.query() == pytest.approx(8_000, rel=0.35)
+
+    def test_intersection(self, mergeable_factory):
+        a, b, __ = _overlapping_pair(mergeable_factory, overlap=0.5, seed=7)
+        # |A ∩ B| = 0.5n = 4000; inclusion-exclusion noise scales with
+        # the union size, so allow a generous band.
+        assert intersection_cardinality(a, b) == pytest.approx(
+            4_000, rel=0.6, abs=800
+        )
+
+    def test_disjoint_intersection_near_zero(self, mergeable_factory):
+        a, b, __ = _overlapping_pair(mergeable_factory, overlap=0.0, seed=8)
+        assert intersection_cardinality(a, b) < 2_500  # noise floor
+
+    def test_jaccard(self, mergeable_factory):
+        a, b, __ = _overlapping_pair(mergeable_factory, overlap=0.5, seed=9)
+        # J = 0.5/1.5 = 1/3.
+        assert jaccard_similarity(a, b) == pytest.approx(1 / 3, abs=0.2)
+
+    def test_jaccard_identical(self, mergeable_factory):
+        a = mergeable_factory()
+        items = distinct_items(5_000, seed=10)
+        a.record_many(items)
+        assert jaccard_similarity(a, clone(a)) == pytest.approx(1.0, abs=0.02)
+
+    def test_jaccard_empty(self, mergeable_factory):
+        assert jaccard_similarity(mergeable_factory(), mergeable_factory()) == 0.0

@@ -1,0 +1,98 @@
+"""Tests for the per-flow sketch framework."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HyperLogLogPlusPlus,
+    MultiResolutionBitmap,
+    PerFlowSketch,
+    SelfMorphingBitmap,
+)
+from repro.streams import SyntheticTrace, TraceConfig, distinct_items
+
+
+def smb_factory():
+    return SelfMorphingBitmap(2000, threshold=166)
+
+
+class TestBasics:
+    def test_lazy_instantiation(self):
+        sketch = PerFlowSketch(smb_factory)
+        assert len(sketch) == 0
+        sketch.record("flow-a", "item-1")
+        assert len(sketch) == 1
+        assert "flow-a" in sketch
+        assert "flow-b" not in sketch
+
+    def test_unseen_flow_queries_zero(self):
+        sketch = PerFlowSketch(smb_factory)
+        assert sketch.query("never-seen") == 0.0
+
+    def test_independent_flows(self):
+        sketch = PerFlowSketch(smb_factory)
+        sketch.record_many("a", distinct_items(1000, seed=1))
+        sketch.record_many("b", distinct_items(10, seed=2))
+        assert sketch.query("a") == pytest.approx(1000, rel=0.15)
+        assert sketch.query("b") == pytest.approx(10, rel=0.3)
+
+    def test_estimates_and_keys(self):
+        sketch = PerFlowSketch(smb_factory)
+        sketch.record("a", 1)
+        sketch.record("b", 2)
+        estimates = sketch.estimates()
+        assert set(estimates) == {"a", "b"}
+        assert set(sketch.keys()) == {"a", "b"}
+        assert dict(sketch.items()).keys() == {"a", "b"}
+
+    def test_memory_accounts_all_flows(self):
+        sketch = PerFlowSketch(smb_factory)
+        for key in range(5):
+            sketch.record(key, "x")
+        assert sketch.memory_bits() == 5 * (2000 + 32)
+
+
+class TestPluggability:
+    """§II-C: any estimator plugs into the multi-stream framework."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            smb_factory,
+            lambda: HyperLogLogPlusPlus(2000),
+            lambda: MultiResolutionBitmap(166, 12),
+        ],
+        ids=["smb", "hllpp", "mrb"],
+    )
+    def test_any_estimator_plugs_in(self, factory):
+        sketch = PerFlowSketch(factory)
+        sketch.record_many("flow", distinct_items(5000, seed=3))
+        assert sketch.query("flow") == pytest.approx(5000, rel=0.2)
+
+
+class TestPacketInterface:
+    def test_record_packets_groups_by_key(self):
+        trace = SyntheticTrace(
+            TraceConfig(num_streams=50, total_packets=20_000,
+                        max_cardinality=2_000, seed=2)
+        )
+        packets = trace.packets()
+        sketch = PerFlowSketch(smb_factory)
+        sketch.record_packets(packets)
+        assert len(sketch) == 50
+        for index in (0, 5, 49):
+            true = trace.stream_cardinality(index)
+            assert sketch.query(index) == pytest.approx(true, rel=0.3, abs=5)
+
+    def test_record_packets_validates_shape(self):
+        sketch = PerFlowSketch(smb_factory)
+        with pytest.raises(ValueError):
+            sketch.record_packets(np.zeros((5, 3), dtype=np.uint64))
+
+    def test_flows_above_threshold(self):
+        sketch = PerFlowSketch(smb_factory)
+        sketch.record_many("big", distinct_items(5000, seed=4))
+        sketch.record_many("small", distinct_items(10, seed=5))
+        hits = sketch.flows_above(1000)
+        assert [key for key, __ in hits] == ["big"]
+        assert hits[0][1] > 1000

@@ -1,0 +1,124 @@
+"""Stateful model-based testing of the Self-Morphing Bitmap.
+
+A hypothesis RuleBasedStateMachine drives a SelfMorphingBitmap through
+arbitrary interleavings of scalar records, batch records, duplicate
+replays, queries and serialization roundtrips, and checks it after
+every step against an independent straight-line reimplementation of
+Algorithm 1 (sets and ints only, no vectorization, no shared code
+beyond the hash functions themselves).
+"""
+
+import math
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro import SelfMorphingBitmap
+from repro.hashing import GeometricHash, UniformHash
+
+M, T = 256, 24
+
+
+class _ReferenceModel:
+    """Straight-line Algorithm 1 over a Python set of bit positions."""
+
+    def __init__(self, seed: int) -> None:
+        self.r = 0
+        self.v = 0
+        self.bits: set[int] = set()
+        self._geometric = GeometricHash(seed)
+        self._position = UniformHash(seed + 0x504F53)
+
+    def record(self, value: int) -> None:
+        if self._geometric.value_u64(value) < self.r:
+            return
+        position = self._position.hash_u64(value) % M
+        if position not in self.bits:
+            self.bits.add(position)
+            self.v += 1
+            if self.v >= T:
+                self.r += 1
+                self.v = 0
+
+    def estimate(self) -> float:
+        if self.r * T + self.v >= M:
+            return None  # saturated; the estimator clamps
+        total = 0.0
+        for i in range(self.r):
+            m_i = M - i * T
+            total += -math.ldexp(M, i) * math.log(1 - T / m_i)
+        m_r = M - self.r * T
+        total += -math.ldexp(M, self.r) * math.log(1 - self.v / m_r)
+        return total
+
+
+class SmbMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 1000))
+    def setup(self, seed):
+        self.smb = SelfMorphingBitmap(M, threshold=T, seed=seed)
+        self.model = _ReferenceModel(seed)
+        self.recorded: list[int] = []
+
+    @rule(value=st.integers(0, 2**64 - 1))
+    def record_one(self, value):
+        self.smb.record(value)
+        self.model.record(value)
+        self.recorded.append(value)
+
+    @rule(values=st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=200))
+    def record_batch(self, values):
+        self.smb.record_many(np.asarray(values, dtype=np.uint64))
+        for value in values:
+            self.model.record(value)
+        self.recorded.extend(values)
+
+    @rule()
+    def replay_duplicates(self):
+        # Theorem 2: replaying seen items must be a no-op.
+        if not self.recorded:
+            return
+        replay = self.recorded[:: max(1, len(self.recorded) // 16)]
+        self.smb.record_many(np.asarray(replay, dtype=np.uint64))
+        for value in replay:
+            self.model.record(value)
+
+    @rule()
+    def serialize_roundtrip(self):
+        self.smb = SelfMorphingBitmap.from_bytes(self.smb.to_bytes())
+
+    @invariant()
+    def counters_match_model(self):
+        if not hasattr(self, "smb"):
+            return
+        assert self.smb.r == self.model.r
+        assert self.smb.v == self.model.v
+        assert self.smb._bits.ones == len(self.model.bits)
+
+    @invariant()
+    def ones_invariant(self):
+        if not hasattr(self, "smb"):
+            return
+        assert self.smb._bits.ones == self.smb.r * self.smb.T + self.smb.v
+
+    @invariant()
+    def estimate_matches_model(self):
+        if not hasattr(self, "smb"):
+            return
+        expected = self.model.estimate()
+        if expected is None:
+            assert self.smb.saturated
+        else:
+            assert self.smb.query() == expected
+
+
+TestSmbStateMachine = SmbMachine.TestCase
+TestSmbStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,109 @@
+"""Tests for the invertible SpreadSketch (estimators as plug-ins)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HyperLogLog,
+    MultiResolutionBitmap,
+    SelfMorphingBitmap,
+)
+from repro.sketches.spread_sketch import SpreadSketch
+from repro.streams import distinct_items
+
+
+def smb_factory():
+    return SelfMorphingBitmap(2_000, design_cardinality=100_000)
+
+
+def _populated_sketch(factory=smb_factory, seed=0, spreaders=None):
+    sketch = SpreadSketch(factory, rows=4, columns=64, seed=1)
+    rng = np.random.default_rng(seed)
+    truth = {}
+    # Background flows: small spreads.
+    for flow in range(500):
+        n = int(rng.integers(1, 40))
+        sketch.record_many(flow, distinct_items(n, seed=flow))
+        truth[flow] = n
+    # Planted super-spreaders.
+    for index, n in enumerate(spreaders or (20_000, 15_000, 10_000)):
+        flow = 10_000 + index
+        sketch.record_many(flow, distinct_items(n, seed=flow))
+        truth[flow] = n
+    return sketch, truth
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpreadSketch(smb_factory, rows=0)
+        with pytest.raises(ValueError):
+            SpreadSketch(smb_factory, columns=1)
+
+    def test_memory_accounting(self):
+        sketch = SpreadSketch(smb_factory, rows=2, columns=8)
+        single = smb_factory().memory_bits()
+        assert sketch.memory_bits() == 2 * 8 * (single + 64 + 6)
+
+
+class TestQuery:
+    def test_min_over_rows_bounds_collisions(self):
+        sketch, truth = _populated_sketch()
+        # Large flows estimate within a reasonable band despite sharing
+        # cells with colliding background flows.
+        for flow in (10_000, 10_001, 10_002):
+            estimate = sketch.query(flow)
+            assert estimate == pytest.approx(truth[flow], rel=0.35)
+
+    def test_unseen_flow_small(self):
+        sketch, __ = _populated_sketch()
+        # An unseen flow hits arbitrary cells; min over rows keeps the
+        # phantom estimate near the smallest cell, far below spreaders.
+        assert sketch.query("never-seen") < 5_000
+
+
+class TestInversion:
+    def test_superspreaders_detected(self):
+        sketch, truth = _populated_sketch()
+        top = sketch.superspreaders(3)
+        detected = {flow for flow, __ in top}
+        assert detected == {10_000, 10_001, 10_002}
+        # Ordered by estimated spread.
+        estimates = [estimate for __, estimate in top]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_candidates_bounded_by_cells(self):
+        sketch, __ = _populated_sketch()
+        assert len(sketch.candidates()) <= 4 * 64
+
+    def test_k_validation(self):
+        sketch, __ = _populated_sketch()
+        with pytest.raises(ValueError):
+            sketch.superspreaders(0)
+
+    def test_scalar_path_detects_too(self):
+        sketch = SpreadSketch(smb_factory, rows=3, columns=32, seed=2)
+        for flow in range(100):
+            sketch.record(flow, f"item-{flow}")
+        for item in distinct_items(8_000, seed=99).tolist():
+            sketch.record("whale", item)
+        from repro.hashing import canonical_u64
+
+        top = sketch.superspreaders(1)
+        assert top[0][0] == canonical_u64("whale")
+
+
+class TestPluggability:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            smb_factory,
+            lambda: HyperLogLog(2_000),
+            lambda: MultiResolutionBitmap(166, 12),
+        ],
+        ids=["smb", "hll", "mrb"],
+    )
+    def test_any_estimator_plugs_in(self, factory):
+        sketch, truth = _populated_sketch(factory=factory)
+        top = {flow for flow, __ in sketch.superspreaders(3)}
+        assert top == {10_000, 10_001, 10_002}

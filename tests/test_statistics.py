@@ -1,0 +1,125 @@
+"""Statistical validation: measured estimator behaviour vs theory.
+
+These tests close the loop between the implementations and the theory
+module: measured standard errors should track the published/derived
+formulas, and the Theorem-3 bound must *hold* (coverage at least β) on
+live data.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import HyperLogLog, SelfMorphingBitmap
+from repro.core.theory import (
+    hll_standard_error,
+    mrb_standard_error,
+    smb_error_bound,
+)
+from repro.estimators import Bitmap, MultiResolutionBitmap
+from repro.streams import distinct_items
+
+TRIALS = 40
+
+
+def _measured_stderr(factory, n: int, trials: int = TRIALS) -> float:
+    estimates = np.empty(trials)
+    for seed in range(trials):
+        estimator = factory(seed)
+        estimator.record_many(distinct_items(n, seed=seed * 7919 + n))
+        estimates[seed] = estimator.query()
+    return float(np.sqrt(np.mean((estimates / n - 1.0) ** 2)))
+
+
+class TestHllStdErr:
+    def test_matches_published_formula(self):
+        # t = 1000 registers -> sigma = 1.04/sqrt(1000) = 3.3%.
+        t = 1000
+        measured = _measured_stderr(
+            lambda seed: HyperLogLog(5 * t, seed=seed), n=200_000
+        )
+        predicted = hll_standard_error(t)
+        assert measured == pytest.approx(predicted, rel=0.5)
+
+    def test_scales_with_registers(self):
+        small = _measured_stderr(
+            lambda seed: HyperLogLog(5 * 250, seed=seed), n=100_000, trials=25
+        )
+        large = _measured_stderr(
+            lambda seed: HyperLogLog(5 * 2000, seed=seed), n=100_000, trials=25
+        )
+        assert large < small
+
+
+class TestLinearCountingVariance:
+    def test_bitmap_stderr_near_whang_formula(self):
+        # Whang et al.: Var(n̂) ≈ m(e^ρ - ρ - 1) at load ρ = n/m.
+        m, n = 10_000, 8_000
+        load = n / m
+        predicted = math.sqrt(m * (math.exp(load) - load - 1.0)) / n
+        measured = _measured_stderr(lambda seed: Bitmap(m, seed=seed), n=n)
+        assert measured == pytest.approx(predicted, rel=0.5)
+
+
+class TestMrbStdErr:
+    def test_derived_formula_tracks_measurement(self):
+        b, k, n = 416, 12, 500_000
+        measured = _measured_stderr(
+            lambda seed: MultiResolutionBitmap(b, k, seed=seed), n=n
+        )
+        predicted = mrb_standard_error(n, b, k)
+        # The derivation makes Poisson/expected-fill simplifications;
+        # agreement within 2.5x validates it as a bound-grade model.
+        assert measured < 2.5 * predicted
+        assert predicted < 4 * measured
+
+
+class TestTheorem3Coverage:
+    @pytest.mark.parametrize("n", [20_000, 200_000])
+    def test_bound_holds(self, n):
+        m, t, delta = 10_000, 833, 0.1
+        beta = smb_error_bound(delta, n, m, t)
+        hits = 0
+        for seed in range(TRIALS):
+            smb = SelfMorphingBitmap(m, threshold=t, seed=seed)
+            smb.record_many(distinct_items(n, seed=seed * 104729 + n))
+            if abs(smb.query() - n) / n <= delta:
+                hits += 1
+        coverage = hits / TRIALS
+        # Allow binomial noise on 40 trials (sigma ~ 0.08 at beta~0.9).
+        assert coverage >= beta - 0.15
+
+    def test_bound_is_not_vacuous(self):
+        # At the paper's operating point the bound must be informative.
+        assert smb_error_bound(0.1, 1e6, 10_000, 833) > 0.9
+
+
+class TestSmbVarianceScalesWithMemory:
+    def test_stderr_shrinks_with_m(self):
+        n = 200_000
+        small = _measured_stderr(
+            lambda seed: SelfMorphingBitmap(2_500, threshold=178, seed=seed),
+            n=n, trials=25,
+        )
+        large = _measured_stderr(
+            lambda seed: SelfMorphingBitmap(10_000, threshold=833, seed=seed),
+            n=n, trials=25,
+        )
+        assert large < small
+
+
+class TestCrossSeedIndependence:
+    def test_different_seeds_give_independent_errors(self):
+        # Errors across seeds should average out: the mean estimate over
+        # many seeds is much closer to n than single-seed estimates.
+        n = 100_000
+        estimates = []
+        for seed in range(30):
+            smb = SelfMorphingBitmap(5_000, threshold=384, seed=seed)
+            smb.record_many(distinct_items(n, seed=999))  # same stream!
+            estimates.append(smb.query())
+        mean_error = abs(float(np.mean(estimates)) - n) / n
+        worst_single = max(abs(e - n) / n for e in estimates)
+        assert mean_error < worst_single
+        assert mean_error < 0.02

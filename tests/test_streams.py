@@ -1,0 +1,238 @@
+"""Tests for the synthetic stream generators and the CAIDA-like trace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import (
+    SyntheticTrace,
+    TraceConfig,
+    distinct_items,
+    random_strings,
+    stream_with_duplicates,
+    zipf_weights,
+)
+
+
+class TestDistinctItems:
+    def test_count_and_distinctness(self):
+        items = distinct_items(10_000, seed=0)
+        assert items.size == 10_000
+        assert np.unique(items).size == 10_000
+
+    def test_deterministic(self):
+        assert np.array_equal(distinct_items(100, seed=1), distinct_items(100, seed=1))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            distinct_items(100, seed=1), distinct_items(100, seed=2)
+        )
+
+    def test_zero(self):
+        assert distinct_items(0).size == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            distinct_items(-1)
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=20)
+    def test_always_distinct(self, n):
+        assert np.unique(distinct_items(n, seed=n)).size == n
+
+
+class TestRandomStrings:
+    def test_lengths_in_range(self):
+        strings = random_strings(200, max_length=50, min_length=10, seed=0)
+        assert len(strings) == 200
+        assert all(10 <= len(s) <= 50 for s in strings)
+
+    def test_default_matches_paper(self):
+        strings = random_strings(50, seed=0)
+        assert all(len(s) <= 128 for s in strings)
+
+    def test_deterministic(self):
+        assert random_strings(20, seed=3) == random_strings(20, seed=3)
+
+    def test_practically_distinct(self):
+        strings = random_strings(5000, seed=0)
+        assert len(set(strings)) == 5000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_strings(-1)
+        with pytest.raises(ValueError):
+            random_strings(10, max_length=5, min_length=6)
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        weights = zipf_weights(100, 1.2)
+        assert abs(weights.sum() - 1.0) < 1e-12
+        assert np.all(np.diff(weights) <= 0)
+
+    def test_exponent_zero_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -1.0)
+
+
+class TestStreamWithDuplicates:
+    def test_exact_cardinality(self):
+        stream = stream_with_duplicates(1000, 5000, seed=0)
+        assert stream.size == 5000
+        assert np.unique(stream).size == 1000
+
+    def test_no_duplicates_case(self):
+        stream = stream_with_duplicates(100, 100, seed=0)
+        assert np.unique(stream).size == 100
+
+    def test_zipf_model(self):
+        stream = stream_with_duplicates(500, 5000, model="zipf", seed=0)
+        assert np.unique(stream).size == 500
+
+    def test_zipf_is_skewed(self):
+        stream = stream_with_duplicates(
+            100, 20_000, model="zipf", zipf_exponent=1.5, seed=0
+        )
+        __, counts = np.unique(stream, return_counts=True)
+        # Under strong skew the most frequent item dominates.
+        assert counts.max() > 5 * np.median(counts)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            stream_with_duplicates(100, 50)
+        with pytest.raises(ValueError):
+            stream_with_duplicates(10, 20, model="exponential")
+
+    @given(st.integers(1, 300), st.integers(0, 500))
+    @settings(max_examples=20)
+    def test_cardinality_property(self, cardinality, extra):
+        stream = stream_with_duplicates(cardinality, cardinality + extra, seed=7)
+        assert np.unique(stream).size == cardinality
+
+
+class TestTraceConfig:
+    def test_defaults_valid(self):
+        TraceConfig()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig(num_streams=0)
+        with pytest.raises(ValueError):
+            TraceConfig(total_packets=0)
+        with pytest.raises(ValueError):
+            TraceConfig(max_cardinality=-1)
+        with pytest.raises(ValueError):
+            TraceConfig(zipf_exponent=0)
+
+    def test_paper_scale(self):
+        cfg = TraceConfig.paper_scale(0.001)
+        assert cfg.num_streams == 400
+        assert cfg.total_packets == 200_000
+        # Max cardinality scales as sqrt(scale), floored at 2000 so the
+        # large-stream experiments stay meaningful.
+        assert cfg.max_cardinality == max(2_000, int(80_000 * 0.001 ** 0.5))
+
+    def test_paper_scale_full_is_paper(self):
+        cfg = TraceConfig.paper_scale(1.0)
+        assert cfg.num_streams == 400_000
+        assert cfg.total_packets == 200_000_000
+        assert cfg.max_cardinality == 80_000
+
+    def test_paper_scale_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig.paper_scale(0)
+        with pytest.raises(ValueError):
+            TraceConfig.paper_scale(1.5)
+
+
+SMALL_TRACE = TraceConfig(
+    num_streams=200, total_packets=100_000, max_cardinality=5_000, seed=1
+)
+
+
+class TestSyntheticTrace:
+    def test_shape(self):
+        trace = SyntheticTrace(SMALL_TRACE)
+        assert trace.num_streams == 200
+        assert trace.cardinalities.size == 200
+        assert int(trace.cardinalities.max()) == 5_000
+        assert int(trace.cardinalities.min()) >= 1
+
+    def test_heavy_tail(self):
+        trace = SyntheticTrace(SMALL_TRACE)
+        cards = trace.cardinalities
+        # Rank-size law: the median stream is far below the maximum.
+        assert np.median(cards) < cards.max() / 50
+
+    def test_stream_items_match_planned_cardinality(self):
+        trace = SyntheticTrace(SMALL_TRACE)
+        for index in (0, 10, 199):
+            items = trace.stream_items(index)
+            assert np.unique(items).size == trace.stream_cardinality(index)
+
+    def test_streams_contain_duplicates(self):
+        trace = SyntheticTrace(SMALL_TRACE)
+        items = trace.stream_items(0)
+        assert items.size > trace.stream_cardinality(0)
+
+    def test_deterministic(self):
+        a = SyntheticTrace(SMALL_TRACE).stream_items(5)
+        b = SyntheticTrace(SMALL_TRACE).stream_items(5)
+        assert np.array_equal(a, b)
+
+    def test_with_seed_changes_content_not_shape(self):
+        trace = SyntheticTrace(SMALL_TRACE)
+        other = trace.with_seed(99)
+        assert np.array_equal(trace.cardinalities, other.cardinalities)
+        assert not np.array_equal(trace.stream_items(0), other.stream_items(0))
+
+    def test_index_bounds(self):
+        trace = SyntheticTrace(SMALL_TRACE)
+        with pytest.raises(IndexError):
+            trace.stream_items(200)
+
+    def test_packets_shape_and_consistency(self):
+        trace = SyntheticTrace(SMALL_TRACE)
+        packets = trace.packets()
+        assert packets.shape == (trace.total_packets, 2)
+        # Re-derive stream 0's multiset of items from the packet view.
+        from_packets = np.sort(packets[packets[:, 0] == 0, 1])
+        direct = np.sort(trace.stream_items(0))
+        assert np.array_equal(from_packets, direct)
+
+    def test_packets_guard(self):
+        trace = SyntheticTrace(SMALL_TRACE)
+        with pytest.raises(ValueError):
+            trace.packets(max_packets=10)
+
+    def test_streams_in_range(self):
+        trace = SyntheticTrace(SMALL_TRACE)
+        large = trace.streams_in_range(1000)
+        assert large.size > 0
+        assert all(trace.stream_cardinality(int(i)) >= 1000 for i in large)
+        small = trace.streams_in_range(1, 10)
+        assert all(1 <= trace.stream_cardinality(int(i)) <= 10 for i in small)
+
+    def test_budget_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTrace(
+                TraceConfig(num_streams=100, total_packets=10, max_cardinality=1000)
+            )
+
+    def test_iter_streams(self):
+        trace = SyntheticTrace(SMALL_TRACE)
+        seen = 0
+        for index, items in trace.iter_streams():
+            assert items.dtype == np.uint64
+            seen += 1
+            if seen > 5:
+                break
+        assert seen == 6

@@ -1,0 +1,162 @@
+"""Tests for the Theorem-3 error bound and the Fig. 5 comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.core.theory import (
+    beta_curve,
+    hll_error_bound,
+    hll_standard_error,
+    mrb_error_bound,
+    mrb_standard_error,
+    smb_error_bound,
+    smb_round_loads,
+    smb_standard_error,
+)
+from repro.core.tuning import optimal_threshold
+from repro.streams import distinct_items
+from repro import SelfMorphingBitmap
+
+
+class TestSmbBound:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smb_error_bound(0.0, 1000, 1000, 100)
+        with pytest.raises(ValueError):
+            smb_error_bound(1.0, 1000, 1000, 100)
+        with pytest.raises(ValueError):
+            smb_error_bound(0.1, -5, 1000, 100)
+
+    def test_range(self):
+        for delta in (0.01, 0.1, 0.5):
+            beta = smb_error_bound(delta, 1e6, 10_000, 833)
+            assert 0.0 <= beta <= 1.0
+
+    def test_monotone_in_delta(self):
+        # Non-decreasing up to the theorem's integer (r, U_r) selection,
+        # which can introduce small downward steps when n(1+δ) crosses a
+        # round boundary.
+        deltas = np.linspace(0.02, 0.5, 20)
+        betas = beta_curve(deltas, 1e6, 10_000, 833)
+        assert np.all(np.diff(betas) >= -0.05)
+        assert betas[-1] >= betas[0]
+
+    def test_monotone_in_memory(self):
+        # Fig. 5a: larger m gives a stronger bound at the same delta.
+        betas = [
+            smb_error_bound(0.15, 1e6, m, optimal_threshold(m, 1_000_000))
+            for m in (1_000, 2_500, 5_000, 10_000)
+        ]
+        assert betas == sorted(betas)
+
+    def test_paper_anchor(self):
+        # Paper: m = 10000 bits, delta = 0.1, n = 1M, T optimal ->
+        # beta = 0.971. Our recomputed optimum lands in the same band.
+        t = optimal_threshold(10_000, 1_000_000)
+        beta = smb_error_bound(0.1, 1e6, 10_000, t)
+        assert 0.94 <= beta <= 1.0
+
+    def test_exact_form_close_to_taylor(self):
+        taylor = smb_error_bound(0.1, 1e6, 10_000, 833)
+        exact = smb_error_bound(0.1, 1e6, 10_000, 833, exact=True)
+        assert exact == pytest.approx(taylor, abs=0.05)
+
+    def test_bound_holds_empirically(self):
+        # The bound is a guarantee: measured coverage must exceed beta.
+        m, t, n, delta = 5_000, 384, 50_000, 0.15
+        beta = smb_error_bound(delta, n, m, t)
+        hits = 0
+        trials = 30
+        for seed in range(trials):
+            smb = SelfMorphingBitmap(m, threshold=t, seed=seed)
+            smb.record_many(distinct_items(n, seed=seed + 500))
+            if abs(smb.query() - n) / n <= delta:
+                hits += 1
+        assert hits / trials >= beta - 0.10  # slack for 30 trials
+
+
+class TestSmbRoundLoads:
+    def test_small_stream_stays_in_round_zero(self):
+        r, v = smb_round_loads(100, 10_000, 833)
+        assert r == 0
+        assert 90 < v <= 100
+
+    def test_large_stream_advances(self):
+        r, v = smb_round_loads(1e6, 10_000, 833)
+        assert r >= 5
+        assert 0 <= v <= 833
+
+    def test_terminal_v_below_threshold(self):
+        for n in (1e3, 1e4, 1e5, 1e6):
+            __, v = smb_round_loads(n, 5_000, 384)
+            assert 0 <= v <= 384
+
+
+class TestSmbStandardError:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smb_standard_error(0, 10_000, 833)
+
+    def test_matches_measurement(self):
+        # Delta-method model vs measured RMS relative error.
+        m, t, n = 10_000, 833, 200_000
+        predicted = smb_standard_error(n, m, t)
+        estimates = []
+        for seed in range(30):
+            smb = SelfMorphingBitmap(m, threshold=t, seed=seed)
+            smb.record_many(distinct_items(n, seed=seed + 700))
+            estimates.append(smb.query())
+        measured = float(
+            np.sqrt(np.mean((np.asarray(estimates) / n - 1.0) ** 2))
+        )
+        assert measured == pytest.approx(predicted, rel=0.6)
+
+    def test_shrinks_with_memory(self):
+        small = smb_standard_error(2e5, 2_500, 178)
+        large = smb_standard_error(2e5, 10_000, 833)
+        assert large < small
+
+
+class TestMrbBound:
+    def test_standard_error_shrinks_with_memory(self):
+        small = mrb_standard_error(1e6, 66, 15)
+        large = mrb_standard_error(1e6, 909, 11)
+        assert large < small
+
+    def test_chebyshev_bound_range(self):
+        for delta in (0.05, 0.1, 0.3):
+            beta = mrb_error_bound(delta, 1e6, 909, 11)
+            assert 0.0 <= beta <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mrb_standard_error(0, 100, 10)
+        with pytest.raises(ValueError):
+            mrb_error_bound(0, 1e6, 100, 10)
+
+
+class TestHllBound:
+    def test_published_standard_error(self):
+        assert hll_standard_error(1024) == pytest.approx(1.04 / 32)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hll_standard_error(0)
+        with pytest.raises(ValueError):
+            hll_error_bound(2.0, 5000)
+
+    def test_bound_improves_with_memory(self):
+        assert hll_error_bound(0.1, 10_000) > hll_error_bound(0.1, 1_000)
+
+
+class TestFig5bOrdering:
+    def test_smb_dominates_at_paper_operating_point(self):
+        # Fig. 5b: n = 1M, m = 10000 for every algorithm; SMB's beta
+        # is above MRB's and HLL++'s across moderate deltas.
+        t = optimal_threshold(10_000, 1_000_000)
+        for delta in (0.08, 0.1, 0.15):
+            smb = smb_error_bound(delta, 1e6, 10_000, t)
+            mrb = mrb_error_bound(delta, 1e6, 909, 11)
+            hll = hll_error_bound(delta, 10_000)
+            assert smb >= mrb, f"delta={delta}"
+            assert smb >= hll, f"delta={delta}"

@@ -1,0 +1,99 @@
+"""Tests for parameter tuning: optimal T (Table II) and MRB sizing
+(Table III)."""
+
+import pytest
+
+from repro.core.tuning import (
+    TABLE_III,
+    MRBParameters,
+    mrb_parameters,
+    optimal_threshold,
+    optimal_threshold_table,
+    smb_max_estimate,
+)
+
+
+class TestSmbMaxEstimate:
+    def test_grows_with_rounds(self):
+        # Smaller T -> more rounds -> exponentially larger range.
+        assert smb_max_estimate(1000, 100) > smb_max_estimate(1000, 333)
+
+    def test_single_bitmap_range(self):
+        # T = m/2: two rounds; range comfortably beyond m ln m.
+        import math
+
+        assert smb_max_estimate(1000, 500) > 1000 * math.log(1000)
+
+
+class TestOptimalThreshold:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_threshold(2, 100)
+        with pytest.raises(ValueError):
+            optimal_threshold(1000, 0)
+
+    def test_range_covers_design_cardinality(self):
+        for m in (1_000, 2_500, 5_000, 10_000):
+            t = optimal_threshold(m, 1_000_000)
+            assert smb_max_estimate(m, t) >= 1_000_000
+
+    def test_plausible_round_counts(self):
+        # The paper's optima give m/T in the 8-32 range for these
+        # budgets (comparable to MRB's k in Table III).
+        for m in (1_000, 2_500, 5_000, 10_000):
+            t = optimal_threshold(m, 1_000_000)
+            assert 5 <= m // t <= 40, f"m={m}, T={t}"
+
+    def test_smaller_cardinality_allows_larger_t(self):
+        t_small = optimal_threshold(10_000, 10_000)
+        t_large = optimal_threshold(10_000, 10_000_000)
+        assert t_small >= t_large
+
+    def test_tiny_memory_falls_back_to_widest_range(self):
+        # 64 bits cannot cover 10M items; must still return a valid T.
+        t = optimal_threshold(64, 10_000_000)
+        assert 1 <= t <= 32
+
+    def test_table_generation(self):
+        table = optimal_threshold_table(
+            memory_grid=[5_000], cardinality_grid=[100_000, 1_000_000]
+        )
+        assert set(table) == {(5_000, 100_000), (5_000, 1_000_000)}
+        assert all(1 <= t <= 2_500 for t in table.values())
+
+
+class TestMrbParameters:
+    def test_paper_grid_exact(self):
+        assert mrb_parameters(5_000, 1_000_000) == MRBParameters(416, 12)
+        assert mrb_parameters(10_000, 80_000) == MRBParameters(1428, 7)
+        assert mrb_parameters(1_000, 500_000) == MRBParameters(71, 14)
+
+    def test_rounds_up_to_covering_row(self):
+        # n = 450k not tabulated: use the 500k row.
+        assert mrb_parameters(2_500, 450_000) == TABLE_III[(2_500, 500_000)]
+
+    def test_above_table_uses_largest_row(self):
+        assert mrb_parameters(5_000, 5_000_000) == TABLE_III[(5_000, 1_000_000)]
+
+    def test_component_budget_consistent(self):
+        for (m, __), params in TABLE_III.items():
+            assert params.total_bits <= m
+            assert params.total_bits >= 0.9 * m
+
+    def test_analytic_fallback(self):
+        params = mrb_parameters(8_000, 1_000_000)
+        assert params.total_bits <= 8_000
+        assert params.num_components >= 3
+        # Range must cover the cardinality.
+        import math
+
+        reach = (2 ** (params.num_components - 1)) * params.component_bits * math.log(
+            params.component_bits
+        )
+        assert reach >= 1_000_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mrb_parameters(10, 1000)
+        with pytest.raises(ValueError):
+            mrb_parameters(5000, 0)

@@ -1,0 +1,151 @@
+"""Tests for the shared-memory virtual sketches (CSE and vHLL)."""
+
+import numpy as np
+import pytest
+
+from repro.sketches import CompactSpreadEstimator, VirtualHyperLogLog
+from repro.sketches.virtual import _VirtualSlots
+from repro.streams import distinct_items
+
+
+class TestVirtualSlots:
+    def test_deterministic_per_flow(self):
+        slots = _VirtualSlots(10_000, 64, seed=1)
+        assert np.array_equal(slots.slots("flow-a"), slots.slots("flow-a"))
+
+    def test_different_flows_differ(self):
+        slots = _VirtualSlots(10_000, 64, seed=1)
+        assert not np.array_equal(slots.slots("flow-a"), slots.slots("flow-b"))
+
+    def test_slots_in_pool_range(self):
+        slots = _VirtualSlots(1_000, 64, seed=2)
+        for flow in range(50):
+            values = slots.slots(flow)
+            assert values.size == 64
+            assert int(values.max()) < 1_000
+
+    def test_rejects_virtual_ge_pool(self):
+        with pytest.raises(ValueError):
+            _VirtualSlots(64, 64, seed=0)
+
+    def test_flows_share_pool_slots_rarely(self):
+        # Two flows' slot sets overlap roughly s^2/M times.
+        slots = _VirtualSlots(100_000, 128, seed=3)
+        a = set(slots.slots("a").tolist())
+        b = set(slots.slots("b").tolist())
+        assert len(a & b) < 5
+
+
+class TestCompactSpreadEstimator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompactSpreadEstimator(32)
+        with pytest.raises(ValueError):
+            CompactSpreadEstimator(1000, virtual_bits=4)
+
+    def test_idle_flow_is_near_zero(self):
+        cse = CompactSpreadEstimator(100_000, virtual_bits=128, seed=0)
+        for flow in range(100):
+            cse.record_many(flow, distinct_items(50, seed=flow))
+        assert cse.query("never-seen") < 10
+
+    def test_single_flow_accuracy(self):
+        cse = CompactSpreadEstimator(50_000, virtual_bits=512, seed=0)
+        cse.record_many("flow", distinct_items(300, seed=1))
+        assert cse.query("flow") == pytest.approx(300, rel=0.3)
+
+    def test_noise_correction_under_sharing(self):
+        # Many flows share the pool; per-flow estimates must stay sane.
+        cse = CompactSpreadEstimator(200_000, virtual_bits=256, seed=0)
+        true = {}
+        for flow in range(200):
+            n = 20 + 2 * flow
+            cse.record_many(flow, distinct_items(n, seed=flow + 10))
+            true[flow] = n
+        errors = [
+            abs(cse.query(flow) - n) / n
+            for flow, n in true.items() if n >= 100
+        ]
+        assert float(np.mean(errors)) < 0.35
+
+    def test_duplicates_ignored(self):
+        cse = CompactSpreadEstimator(10_000, virtual_bits=64, seed=0)
+        items = distinct_items(30, seed=2)
+        cse.record_many("f", items)
+        before = cse.query("f")
+        cse.record_many("f", items)
+        assert cse.query("f") == before
+
+    def test_scalar_matches_batch(self):
+        items = distinct_items(100, seed=3)
+        batch = CompactSpreadEstimator(10_000, virtual_bits=64, seed=1)
+        scalar = CompactSpreadEstimator(10_000, virtual_bits=64, seed=1)
+        batch.record_many("f", items)
+        for item in items.tolist():
+            scalar.record("f", item)
+        assert batch.query("f") == scalar.query("f")
+        assert batch.pool.ones == scalar.pool.ones
+
+    def test_pool_load(self):
+        cse = CompactSpreadEstimator(10_000, virtual_bits=64, seed=0)
+        assert cse.pool_load() == 0.0
+        cse.record_many("f", distinct_items(100, seed=4))
+        assert 0 < cse.pool_load() < 0.05
+        assert cse.memory_bits() == 10_000
+
+    def test_empty_batch(self):
+        cse = CompactSpreadEstimator(10_000, virtual_bits=64, seed=0)
+        cse.record_many("f", np.array([], dtype=np.uint64))
+        assert cse.pool.ones == 0
+
+
+class TestVirtualHyperLogLog:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VirtualHyperLogLog(32)
+        with pytest.raises(ValueError):
+            VirtualHyperLogLog(1000, virtual_registers=8)
+
+    def test_single_flow_accuracy(self):
+        vhll = VirtualHyperLogLog(20_000, virtual_registers=512, seed=0)
+        vhll.record_many("flow", distinct_items(50_000, seed=5))
+        assert vhll.query("flow") == pytest.approx(50_000, rel=0.25)
+
+    def test_noise_correction_under_sharing(self):
+        vhll = VirtualHyperLogLog(50_000, virtual_registers=256, seed=0)
+        true = {}
+        for flow in range(100):
+            n = 500 * (1 + flow % 10)
+            vhll.record_many(flow, distinct_items(n, seed=flow + 30))
+            true[flow] = n
+        errors = [
+            abs(vhll.query(flow) - n) / n
+            for flow, n in true.items() if n >= 2000
+        ]
+        assert float(np.mean(errors)) < 0.35
+
+    def test_scalar_matches_batch(self):
+        items = distinct_items(500, seed=6)
+        batch = VirtualHyperLogLog(5_000, virtual_registers=64, seed=1)
+        scalar = VirtualHyperLogLog(5_000, virtual_registers=64, seed=1)
+        batch.record_many("f", items)
+        for item in items.tolist():
+            scalar.record("f", item)
+        assert batch.query("f") == scalar.query("f")
+
+    def test_memory_accounting(self):
+        vhll = VirtualHyperLogLog(1_000, virtual_registers=64)
+        assert vhll.memory_bits() == 5_000
+
+    def test_pool_load_grows(self):
+        vhll = VirtualHyperLogLog(5_000, virtual_registers=64, seed=0)
+        assert vhll.pool_load() == 0.0
+        vhll.record_many("f", distinct_items(1000, seed=7))
+        assert vhll.pool_load() > 0
+
+    def test_memory_efficiency_vs_per_flow(self):
+        # The point of sharing: 100 flows tracked in one 50k-register
+        # pool vs 100 standalone HLLs of 512 registers each.
+        pool_bits = VirtualHyperLogLog(50_000, 512).memory_bits()
+        per_flow_bits = 100 * 512 * 5
+        assert pool_bits < per_flow_bits

@@ -1,0 +1,170 @@
+"""Tests for windowed estimation, sliding windows, and surge detection."""
+
+import numpy as np
+import pytest
+
+from repro import HyperLogLog, SelfMorphingBitmap
+from repro.sketches import (
+    SlidingWindowEstimator,
+    SurgeDetector,
+    WindowedEstimator,
+)
+from repro.streams import distinct_items
+
+
+def factory():
+    return SelfMorphingBitmap(2_000, threshold=166)
+
+
+def hll_factory():
+    return HyperLogLog(2_500, seed=4)
+
+
+class TestWindowedEstimator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedEstimator(factory, smoothing=1.0)
+        with pytest.raises(ValueError):
+            WindowedEstimator(factory, smoothing=-0.1)
+
+    def test_current_window_query(self):
+        windowed = WindowedEstimator(factory)
+        windowed.record_many(distinct_items(1000, seed=1))
+        assert windowed.query() == pytest.approx(1000, rel=0.2)
+
+    def test_close_window_resets(self):
+        windowed = WindowedEstimator(factory)
+        windowed.record_many(distinct_items(1000, seed=2))
+        closed = windowed.close_window()
+        assert closed == pytest.approx(1000, rel=0.2)
+        assert windowed.query() == pytest.approx(0.0, abs=1e-9)
+        assert windowed.windows_closed == 1
+        assert windowed.previous_estimate == closed
+
+    def test_baseline_smoothing(self):
+        windowed = WindowedEstimator(factory, smoothing=0.5)
+        windowed.record_many(distinct_items(1000, seed=3))
+        windowed.close_window()
+        first_baseline = windowed.baseline
+        windowed.record_many(distinct_items(3000, seed=4))
+        windowed.close_window()
+        # baseline = 0.5*first + 0.5*second
+        assert windowed.baseline == pytest.approx(
+            0.5 * first_baseline + 0.5 * windowed.previous_estimate
+        )
+
+    def test_surge_ratio(self):
+        windowed = WindowedEstimator(factory)
+        assert windowed.surge_ratio() is None
+        windowed.record_many(distinct_items(500, seed=5))
+        windowed.close_window()
+        windowed.record_many(distinct_items(5000, seed=6))
+        assert windowed.surge_ratio() == pytest.approx(10, rel=0.3)
+
+    def test_record_scalar(self):
+        windowed = WindowedEstimator(factory)
+        windowed.record("item")
+        assert windowed.query() == pytest.approx(1.0, rel=0.2)
+
+
+class TestSlidingWindowEstimator:
+    def test_rejects_unmergeable(self):
+        with pytest.raises(TypeError, match="merge-capable"):
+            SlidingWindowEstimator(factory)
+
+    def test_rejects_too_few_panes(self):
+        with pytest.raises(ValueError):
+            SlidingWindowEstimator(hll_factory, panes=1)
+
+    def test_query_covers_open_pane(self):
+        sliding = SlidingWindowEstimator(hll_factory, panes=4)
+        sliding.record_many(distinct_items(5_000, seed=20))
+        assert sliding.query() == pytest.approx(5_000, rel=0.2)
+
+    def test_window_covers_last_k_panes(self):
+        sliding = SlidingWindowEstimator(hll_factory, panes=3)
+        pane_items = [distinct_items(2_000, seed=30 + i) for i in range(5)]
+        for items in pane_items:
+            sliding.record_many(items)
+            sliding.advance_pane()
+        # Ring now holds panes 3, 4 (closed) + one empty open pane:
+        # estimate ~ items of the last two recorded panes.
+        assert sliding.query() == pytest.approx(4_000, rel=0.25)
+
+    def test_old_items_expire(self):
+        sliding = SlidingWindowEstimator(hll_factory, panes=2)
+        sliding.record_many(distinct_items(8_000, seed=40))
+        for __ in range(3):
+            sliding.advance_pane()
+        assert sliding.query() == pytest.approx(0.0, abs=1.0)
+
+    def test_duplicates_across_panes_not_double_counted(self):
+        sliding = SlidingWindowEstimator(hll_factory, panes=4)
+        items = distinct_items(3_000, seed=50)
+        sliding.record_many(items)
+        sliding.advance_pane()
+        sliding.record_many(items)  # same items, next pane
+        assert sliding.query() == pytest.approx(3_000, rel=0.2)
+
+    def test_memory_grows_to_pane_cap(self):
+        sliding = SlidingWindowEstimator(hll_factory, panes=3)
+        single = hll_factory().memory_bits()
+        for __ in range(6):
+            sliding.advance_pane()
+        assert sliding.memory_bits() == 3 * single
+
+    def test_scalar_record(self):
+        sliding = SlidingWindowEstimator(hll_factory, panes=2)
+        sliding.record("one-item")
+        assert sliding.query() == pytest.approx(1.0, rel=0.2)
+
+
+class TestSurgeDetector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SurgeDetector(factory, surge_factor=1.0)
+
+    def test_no_alert_on_first_window(self):
+        detector = SurgeDetector(factory, surge_factor=3.0)
+        detector.record_many("svc", distinct_items(10_000, seed=7))
+        assert detector.close_window() == []
+
+    def test_alert_on_surge(self):
+        detector = SurgeDetector(factory, surge_factor=3.0)
+        for window_seed in range(3):
+            detector.record_many("svc", distinct_items(300, seed=window_seed))
+            assert detector.close_window() == []
+        detector.record_many("svc", distinct_items(10_000, seed=50))
+        alerts = detector.close_window()
+        assert len(alerts) == 1
+        key, baseline, estimate = alerts[0]
+        assert key == "svc"
+        assert baseline == pytest.approx(300, rel=0.3)
+        assert estimate == pytest.approx(10_000, rel=0.3)
+
+    def test_steady_flow_never_alerts(self):
+        detector = SurgeDetector(factory, surge_factor=3.0)
+        for window_seed in range(6):
+            detector.record_many(
+                "svc", distinct_items(1000, seed=window_seed + 100)
+            )
+            assert detector.close_window() == []
+
+    def test_alerts_sorted_by_surge_magnitude(self):
+        detector = SurgeDetector(factory, surge_factor=2.0)
+        for key, base in (("a", 200), ("b", 200)):
+            detector.record_many(key, distinct_items(base, seed=hash(key) % 97))
+        detector.close_window()
+        detector.record_many("a", distinct_items(1_000, seed=8))   # 5x
+        detector.record_many("b", distinct_items(10_000, seed=9))  # 50x
+        alerts = detector.close_window()
+        assert [key for key, *__ in alerts] == ["b", "a"]
+
+    def test_baseline_accessor(self):
+        detector = SurgeDetector(factory)
+        assert detector.baseline("nope") is None
+        detector.record_many("svc", distinct_items(100, seed=10))
+        assert detector.baseline("svc") is None  # window still open
+        detector.close_window()
+        assert detector.baseline("svc") == pytest.approx(100, rel=0.3)
+        assert len(detector) == 1
