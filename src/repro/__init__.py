@@ -17,6 +17,7 @@ Quickstart::
 
 from repro.bitvector import BitVector
 from repro.core.smb import SelfMorphingBitmap
+from repro.engine import IngestPipeline, Partitioner, ShardPool
 from repro.core.theory import (
     hll_error_bound,
     mrb_error_bound,
@@ -58,10 +59,13 @@ __all__ = [
     "HyperLogLog",
     "HyperLogLogPlusPlus",
     "HyperLogLogTailCut",
+    "IngestPipeline",
     "KMinValues",
     "LogLog",
     "MultiResolutionBitmap",
+    "Partitioner",
     "PerFlowSketch",
+    "ShardPool",
     "SelfMorphingBitmap",
     "SuperLogLog",
     "SyntheticTrace",

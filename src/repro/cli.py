@@ -7,6 +7,7 @@ Usage::
     python -m repro fig6 --json fig6.json     # machine-readable output
     python -m repro all --json results.json
     REPRO_SCALE=1.0 python -m repro table4    # paper-scale workloads
+    python -m repro engine --shards 8         # sharded ingestion engine
 
 Each experiment produces one or more *blocks* — a title plus headers
 and rows — printed as aligned text and optionally dumped as JSON. See
@@ -465,11 +466,21 @@ EXPERIMENTS: dict[str, tuple[Callable[[], list[Block]], str]] = {
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "engine":
+        # The ingestion-engine subcommand has its own argument surface
+        # (shards, chunking, checkpointing) — dispatch before the
+        # experiment parser sees it.
+        from repro.engine.cli import engine_main
+
+        return engine_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables and figures.",
         epilog="Set REPRO_SCALE (default ~0.01) to scale workload sizes; "
-        "REPRO_SCALE=1.0 runs the paper-scale experiments.",
+        "REPRO_SCALE=1.0 runs the paper-scale experiments. "
+        "'repro engine --help' documents the sharded ingestion engine.",
     )
     parser.add_argument(
         "experiment",

@@ -1,0 +1,160 @@
+"""The ``repro engine`` subcommand: run the sharded ingestion engine.
+
+Drives a synthetic (optionally duplicated) stream through a
+:class:`~repro.engine.pipeline.IngestPipeline` over a
+:class:`~repro.engine.shards.ShardPool`, reports throughput and
+estimation accuracy, and optionally checkpoints/restores the pool::
+
+    repro engine --estimator SMB --shards 4 --items 1000000
+    repro engine --shards 8 --checkpoint pool.ckpt
+    repro engine --restore pool.ckpt --items 500000
+
+Dispatched from the main :mod:`repro.cli` entry point (``repro engine
+...``); the experiment ids remain available alongside it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.bench.runner import ALL_ESTIMATORS
+from repro.engine.checkpoint import load, save
+from repro.engine.pipeline import DEFAULT_CHUNK, IngestPipeline
+from repro.engine.shards import ShardPool
+from repro.streams import distinct_items, stream_with_duplicates
+
+#: Estimator display names the engine accepts. Every entry of the bench
+#: registry serializes, so every entry is checkpointable.
+ENGINE_ESTIMATORS = ALL_ESTIMATORS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro engine`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro engine",
+        description=(
+            "Sharded concurrent ingestion: partition a stream across K "
+            "estimator shards, ingest through a backpressured pipeline, "
+            "and report throughput and accuracy."
+        ),
+    )
+    parser.add_argument(
+        "--estimator", default="SMB", choices=sorted(ENGINE_ESTIMATORS),
+        help="estimator type per shard (default: SMB)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, metavar="K",
+        help="number of hash shards (default: 4)",
+    )
+    parser.add_argument(
+        "--memory-bits", type=int, default=20_000, metavar="M",
+        help="total memory budget, divided across shards (default: 20000)",
+    )
+    parser.add_argument(
+        "--items", type=int, default=100_000, metavar="N",
+        help="distinct items in the synthetic stream (default: 100000)",
+    )
+    parser.add_argument(
+        "--duplication", type=float, default=1.0, metavar="F",
+        help="stream length as a multiple of N, >= 1 (default: 1.0)",
+    )
+    parser.add_argument(
+        "--design-cardinality", type=int, default=1_000_000, metavar="N*",
+        help="cardinality the shards are provisioned for (default: 1e6)",
+    )
+    parser.add_argument(
+        "--chunk", type=int, default=DEFAULT_CHUNK, metavar="C",
+        help=f"pipeline chunk size (default: {DEFAULT_CHUNK})",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=8, metavar="D",
+        help="per-shard queue bound, in sub-batches (default: 8)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="pool seed")
+    parser.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="write an atomic pool checkpoint to FILE after ingesting",
+    )
+    parser.add_argument(
+        "--restore", metavar="FILE",
+        help="restore the pool from FILE before ingesting "
+        "(overrides --estimator/--shards/--memory-bits)",
+    )
+    return parser
+
+
+def engine_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro engine``; returns the process exit code."""
+    from repro.bench.reporting import format_table
+
+    args = build_parser().parse_args(argv)
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    if args.duplication < 1.0:
+        raise SystemExit("--duplication must be >= 1.0")
+
+    if args.restore:
+        try:
+            pool = load(args.restore)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot restore {args.restore}: {exc}")
+        if not isinstance(pool, ShardPool):
+            raise SystemExit(
+                f"{args.restore} holds a "
+                f"{type(pool).__name__}, not a ShardPool"
+            )
+        print(f"restored {pool!r} from {args.restore}")
+    else:
+        pool = ShardPool.of(
+            args.estimator,
+            args.memory_bits,
+            args.shards,
+            design_cardinality=args.design_cardinality,
+            seed=args.seed,
+        )
+
+    length = int(round(args.items * args.duplication))
+    if length > args.items:
+        stream = stream_with_duplicates(
+            args.items, length, seed=args.seed + 1
+        )
+    else:
+        stream = distinct_items(args.items, seed=args.seed + 1)
+
+    baseline = pool.query()  # non-zero after a --restore
+    start = time.perf_counter()
+    with IngestPipeline(
+        pool, chunk_size=args.chunk, queue_depth=args.queue_depth
+    ) as pipeline:
+        pipeline.submit(stream)
+        pipeline.drain()
+        elapsed = time.perf_counter() - start
+        estimate = pool.query()
+
+    records_per_second = stream.size / elapsed if elapsed > 0 else float("inf")
+    new_distinct = args.items
+    rows = [
+        ["shards", pool.num_shards],
+        ["shard estimator", type(pool.shards[0]).__name__],
+        ["memory bits (total)", pool.memory_bits()],
+        ["records ingested", stream.size],
+        ["distinct (this run)", new_distinct],
+        ["elapsed seconds", round(elapsed, 4)],
+        ["records/sec", int(records_per_second)],
+        ["estimate before", round(baseline, 1)],
+        ["estimate after", round(estimate, 1)],
+        ["delta estimate", round(estimate - baseline, 1)],
+        ["rel error (delta vs distinct)",
+         round(abs((estimate - baseline) - new_distinct) / new_distinct, 5)
+         if new_distinct else "n/a"],
+    ]
+    print(format_table(["metric", "value"], rows, title="engine run"))
+
+    if args.checkpoint:
+        try:
+            written = save(pool, args.checkpoint)
+        except OSError as exc:
+            raise SystemExit(f"cannot checkpoint to {args.checkpoint}: {exc}")
+        print(f"checkpointed pool to {args.checkpoint} ({written} bytes)")
+    return 0

@@ -1,0 +1,195 @@
+"""Bounded-queue producer/consumer ingestion over a shard pool.
+
+:class:`IngestPipeline` turns a :class:`~repro.engine.shards.ShardPool`
+into a concurrent streaming sink:
+
+- the **submitting thread** canonicalizes each incoming batch, slices it
+  into chunks of ``chunk_size`` items, partitions every chunk, and
+  enqueues the per-shard sub-arrays;
+- **one worker thread per shard** drains its own bounded FIFO queue into
+  its own estimator. Exclusive shard ownership means no locks on the hot
+  path, and FIFO ordering preserves within-shard arrival order — so a
+  drained pipeline holds *bit-for-bit* the same state as synchronous
+  ``pool.record_many`` over the same stream (asserted by the stateful
+  engine test).
+
+**Backpressure.** Queues are bounded (``queue_depth`` sub-batches per
+shard); :meth:`IngestPipeline.submit` blocks when a shard's consumer
+falls behind, so an unbounded producer cannot exhaust memory.
+
+**Shutdown.** :meth:`drain` blocks until every enqueued sub-batch has
+been applied (safe point for :meth:`estimate` or a checkpoint);
+:meth:`close` drains, stops the workers, and re-raises the first worker
+error, if any. The pipeline is a context manager::
+
+    with IngestPipeline(pool) as pipe:
+        for batch in batches:
+            pipe.submit(batch)
+    print(pool.query())
+
+Throughput note: CPython threads interleave on the GIL, but NumPy
+releases it inside the vectorized kernels that dominate the batch path,
+so partitioning and per-shard recording genuinely overlap.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterable
+
+import numpy as np
+
+from repro.engine.shards import ShardPool
+from repro.hashing import canonical_u64_array
+
+#: Default chunk size of the submit path — same order as the estimators'
+#: own batch chunking (``repro.core.smb.BATCH_CHUNK``), large enough to
+#: amortize vectorized hashing, small enough to keep queues responsive.
+DEFAULT_CHUNK = 8192
+
+_STOP = None  # queue sentinel
+
+
+class IngestPipeline:
+    """Concurrent, backpressured ingestion into a shard pool.
+
+    Parameters
+    ----------
+    pool:
+        The shard pool to ingest into. The pipeline takes exclusive
+        write ownership of the pool until :meth:`close`.
+    chunk_size:
+        Submitted batches are partitioned in chunks of this many items.
+    queue_depth:
+        Bound of each per-shard queue, in sub-batches; the submit path
+        blocks (backpressure) when a queue is full.
+    """
+
+    def __init__(
+        self,
+        pool: ShardPool,
+        chunk_size: int = DEFAULT_CHUNK,
+        queue_depth: int = 8,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.pool = pool
+        self.chunk_size = int(chunk_size)
+        self.records_submitted = 0
+        self._queues: list[queue.Queue] = [
+            queue.Queue(maxsize=queue_depth) for __ in pool.shards
+        ]
+        self._errors: list[BaseException] = []
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._work,
+                args=(shard_index,),
+                name=f"ingest-shard-{shard_index}",
+                daemon=True,
+            )
+            for shard_index in range(pool.num_shards)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _work(self, shard_index: int) -> None:
+        """Drain one shard's queue into its estimator (worker thread)."""
+        shard = self.pool.shards[shard_index]
+        inbox = self._queues[shard_index]
+        while True:
+            batch = inbox.get()
+            try:
+                if batch is _STOP:
+                    return
+                if not self._errors:
+                    shard._record_batch(batch)
+            except BaseException as error:  # pragma: no cover - defensive
+                self._errors.append(error)
+            finally:
+                inbox.task_done()
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def submit(self, items: Iterable[object] | np.ndarray) -> int:
+        """Partition a batch and enqueue it; returns the item count.
+
+        Blocks while any target shard queue is full (backpressure).
+        Raises ``RuntimeError`` if the pipeline is closed or a worker
+        has failed.
+        """
+        if self._closed:
+            raise RuntimeError("cannot submit to a closed pipeline")
+        self._raise_pending()
+        values = canonical_u64_array(items)
+        if self.pool.num_shards > 1:
+            # Same routing-hash accounting as ShardPool._record_batch
+            # (the pipeline partitions directly, bypassing that method).
+            self.pool._route_hash_ops += int(values.size)
+        for start in range(0, values.size, self.chunk_size):
+            chunk = values[start:start + self.chunk_size]
+            for shard_index, part in enumerate(
+                self.pool.partitioner.split(chunk)
+            ):
+                if part.size:
+                    self._queues[shard_index].put(part)
+        self.records_submitted += int(values.size)
+        return int(values.size)
+
+    def drain(self) -> None:
+        """Block until every enqueued sub-batch has been applied.
+
+        After ``drain`` returns (and before further ``submit`` calls)
+        the pool state is identical to a synchronous ingest of all
+        submitted items — a safe point to query or checkpoint.
+        """
+        for inbox in self._queues:
+            inbox.join()
+        self._raise_pending()
+
+    def estimate(self) -> float:
+        """Drain, then return the pool's cardinality estimate."""
+        self.drain()
+        return self.pool.query()
+
+    def close(self) -> None:
+        """Drain, stop the workers, and surface any worker error."""
+        if self._closed:
+            return
+        self._closed = True
+        for inbox in self._queues:
+            inbox.join()
+        for inbox in self._queues:
+            inbox.put(_STOP)
+        for worker in self._workers:
+            worker.join()
+        self._raise_pending()
+
+    def _raise_pending(self) -> None:
+        if self._errors:
+            raise RuntimeError(
+                "ingest worker failed"
+            ) from self._errors[0]
+
+    def __enter__(self) -> "IngestPipeline":
+        """Enter: the pipeline is usable immediately after construction."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Exit: close the pipeline (drains unless already failing)."""
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestPipeline(shards={self.pool.num_shards}, "
+            f"chunk_size={self.chunk_size}, "
+            f"submitted={self.records_submitted}, "
+            f"closed={self._closed})"
+        )

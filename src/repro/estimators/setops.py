@@ -14,7 +14,14 @@ downstream user reaches for:
   serialization, used so callers' sketches are never mutated.
 
 SMB is not mergeable (order-dependent morphing schedule); use
-HLL/Bitmap/MRB when distributed set algebra is required.
+HLL/Bitmap/MRB when distributed set algebra is required. Note that
+scale-out does *not* require mergeability: hash-sharding the item space
+(:class:`repro.engine.ShardPool`) gives disjoint per-shard distinct-item
+sets, so per-shard cardinalities are **exactly additive** and a sharded
+SMB deployment sums its shard estimates instead of merging sketches.
+Mergeability only becomes necessary when the *same* item may be
+recorded by different sketches (overlapping streams) — that is what the
+operations in this module are for.
 """
 
 from __future__ import annotations

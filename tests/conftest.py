@@ -1,6 +1,15 @@
-"""Shared fixtures: the estimator zoo used by generic test batteries."""
+"""Shared fixtures: the estimator zoo used by generic test batteries.
+
+Also registers the hypothesis settings profiles. CI selects the ``ci``
+profile through the ``HYPOTHESIS_PROFILE`` environment variable to run
+many more examples than a local ``dev`` run; tests that pin their own
+``@settings`` (the expensive stateful machines) are unaffected.
+"""
+
+import os
 
 import pytest
+from hypothesis import settings
 
 from repro import (
     Bitmap,
@@ -13,11 +22,18 @@ from repro import (
     LogLog,
     MultiResolutionBitmap,
     SelfMorphingBitmap,
+    ShardPool,
     SuperLogLog,
 )
 
+settings.register_profile("ci", settings(max_examples=200, deadline=None))
+settings.register_profile("dev", settings(max_examples=25, deadline=None))
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
 #: (name, factory) for every estimator, at a 5000-bit-ish budget.
 #: Factories accept a seed so statistical tests can average over trials.
+#: The sharded pool is part of the zoo: the engine's ShardPool must
+#: honour the full estimator contract like any single estimator.
 ESTIMATOR_FACTORIES = [
     ("bitmap", lambda seed=0: Bitmap(5000, seed=seed)),
     ("mrb", lambda seed=0: MultiResolutionBitmap(416, 12, seed=seed)),
@@ -29,6 +45,7 @@ ESTIMATOR_FACTORIES = [
     ("tailcut", lambda seed=0: HyperLogLogTailCut(5000, seed=seed)),
     ("kmv", lambda seed=0: KMinValues(78, seed=seed)),
     ("smb", lambda seed=0: SelfMorphingBitmap(5000, threshold=384, seed=seed)),
+    ("sharded-smb", lambda seed=0: ShardPool.of("SMB", 5000, 4, seed=seed)),
     ("exact", lambda seed=0: ExactCounter()),
 ]
 

@@ -1,0 +1,330 @@
+"""Unit tests of the ingestion engine: partitioning, pool, pipeline,
+checkpointing and the ``repro engine`` CLI subcommand.
+
+The deeper interleaving/restore behaviour is driven by the stateful
+machine in ``test_engine_stateful.py``; the accuracy claim is pinned in
+``test_engine_statistical.py``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import (
+    HyperLogLogPlusPlus,
+    IngestPipeline,
+    Partitioner,
+    SelfMorphingBitmap,
+    ShardPool,
+)
+from repro.engine import checkpoint
+from repro.streams import distinct_items
+
+
+def smb_pool(num_shards=4, seed=0, m=1000, t=100):
+    """A small SMB pool used across these tests."""
+    return ShardPool(
+        lambda k: SelfMorphingBitmap(m, threshold=t, seed=seed),
+        num_shards,
+        seed=seed,
+    )
+
+
+class TestPartitioner:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            Partitioner(0)
+
+    def test_scalar_matches_vector(self):
+        part = Partitioner(7, seed=3)
+        values = distinct_items(5000, seed=1)
+        ids = part.shard_ids(values)
+        for value, shard in zip(values.tolist()[:500], ids.tolist()[:500]):
+            assert part.shard_of(value) == shard
+
+    def test_split_is_a_disjoint_cover(self):
+        part = Partitioner(5, seed=2)
+        values = distinct_items(10_000, seed=4)
+        parts = part.split(values)
+        assert len(parts) == 5
+        assert sum(p.size for p in parts) == values.size
+        assert set(np.concatenate(parts).tolist()) == set(values.tolist())
+
+    def test_split_preserves_within_shard_order(self):
+        part = Partitioner(3, seed=5)
+        values = distinct_items(3000, seed=6)
+        ids = part.shard_ids(values)
+        for shard, sub in enumerate(part.split(values)):
+            expected = values[ids == shard]
+            assert np.array_equal(sub, expected)
+
+    def test_single_shard_is_identity(self):
+        part = Partitioner(1, seed=9)
+        values = distinct_items(100, seed=7)
+        [only] = part.split(values)
+        assert np.array_equal(only, values)
+        assert part.shard_of(12345) == 0
+
+    def test_deterministic_across_instances(self):
+        values = distinct_items(1000, seed=8)
+        a = Partitioner(4, seed=11).shard_ids(values)
+        b = Partitioner(4, seed=11).shard_ids(values)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_partition(self):
+        values = distinct_items(1000, seed=8)
+        a = Partitioner(4, seed=1).shard_ids(values)
+        b = Partitioner(4, seed=2).shard_ids(values)
+        assert not np.array_equal(a, b)
+
+    def test_loads_are_balanced(self):
+        part = Partitioner(8, seed=0)
+        counts = [p.size for p in part.split(distinct_items(80_000, seed=9))]
+        # Multinomial(80k, 1/8): each shard within ±5% of the mean.
+        assert all(abs(c - 10_000) < 500 for c in counts)
+
+
+class TestShardPool:
+    def test_additivity_is_exact(self):
+        # The pool estimate is *exactly* the sum of standalone estimators
+        # fed the same sub-streams: the defining property of sharding.
+        pool = smb_pool(num_shards=4, seed=7)
+        items = distinct_items(8000, seed=10)
+        pool.record_many(items)
+        mirrors = [SelfMorphingBitmap(1000, threshold=100, seed=7)
+                   for __ in range(4)]
+        for shard, sub in zip(mirrors, pool.partitioner.split(items)):
+            shard.record_many(sub)
+        assert pool.query() == sum(m.query() for m in mirrors)
+        assert pool.shard_estimates() == [m.query() for m in mirrors]
+
+    def test_memory_is_summed(self):
+        pool = smb_pool(num_shards=3)
+        assert pool.memory_bits() == 3 * (1000 + 32)
+
+    def test_factory_type_checked(self):
+        with pytest.raises(TypeError):
+            ShardPool(lambda k: object(), 2)
+
+    def test_of_divides_budget(self):
+        pool = ShardPool.of("HLL++", 20_000, 4, seed=1)
+        assert pool.num_shards == 4
+        assert all(isinstance(s, HyperLogLogPlusPlus) for s in pool.shards)
+        assert pool.memory_bits() <= 20_000
+
+    def test_counters_aggregate_and_reset(self):
+        pool = smb_pool(num_shards=4)
+        pool.record_many(distinct_items(2000, seed=12))
+        assert pool.hash_ops > 2000  # routing + per-shard hashing
+        pool.reset_counters()
+        assert pool.hash_ops == 0
+        assert all(s.hash_ops == 0 for s in pool.shards)
+
+    def test_merge_requires_same_partition(self):
+        a = ShardPool.of("HLL++", 4000, 4, seed=1)
+        b = ShardPool.of("HLL++", 4000, 4, seed=2)  # different partition
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_unions_shard_wise(self):
+        a = ShardPool.of("HLL++", 4000, 4, seed=1)
+        b = ShardPool.of("HLL++", 4000, 4, seed=1)
+        left = distinct_items(3000, seed=13)
+        right = distinct_items(3000, seed=14)
+        a.record_many(left)
+        b.record_many(right)
+        a.merge(b)
+        union = ShardPool.of("HLL++", 4000, 4, seed=1)
+        union.record_many(np.concatenate([left, right]))
+        assert a.to_bytes() == union.to_bytes()
+
+    def test_merged_collapses_to_single_sketch(self):
+        pool = ShardPool.of("HLL++", 4000, 4, seed=1)
+        items = distinct_items(5000, seed=15)
+        pool.record_many(items)
+        single = HyperLogLogPlusPlus(1000, seed=1)
+        single.record_many(items)
+        assert pool.merged().query() == single.query()
+
+    def test_merged_smb_raises(self):
+        pool = smb_pool(num_shards=2)
+        pool.record_many(distinct_items(100, seed=16))
+        with pytest.raises(NotImplementedError):
+            pool.merged()
+
+    def test_serialization_rejects_corruption(self):
+        pool = smb_pool(num_shards=2)
+        pool.record_many(distinct_items(500, seed=17))
+        data = bytearray(pool.to_bytes())
+        data[0] ^= 0xFF
+        with pytest.raises(ValueError):
+            ShardPool.from_bytes(bytes(data))
+        with pytest.raises(ValueError):
+            ShardPool.from_bytes(pool.to_bytes()[:20])
+
+
+class TestPipeline:
+    def test_matches_synchronous_ingest(self):
+        items = distinct_items(20_000, seed=18)
+        sync = smb_pool(num_shards=4, seed=3)
+        sync.record_many(items)
+        piped = smb_pool(num_shards=4, seed=3)
+        with IngestPipeline(piped, chunk_size=1024, queue_depth=2) as pipe:
+            for start in range(0, items.size, 3000):
+                pipe.submit(items[start:start + 3000])
+            assert pipe.estimate() == sync.query()
+        assert piped.to_bytes() == sync.to_bytes()
+        assert piped.hash_ops == sync.hash_ops
+
+    def test_submit_returns_count_and_tracks_total(self):
+        pool = smb_pool(num_shards=2)
+        with IngestPipeline(pool) as pipe:
+            assert pipe.submit(distinct_items(100, seed=19)) == 100
+            assert pipe.submit([1, 2, 3]) == 3
+            pipe.drain()
+        assert pipe.records_submitted == 103
+
+    def test_accepts_mixed_item_types(self):
+        pool = smb_pool(num_shards=2)
+        with IngestPipeline(pool) as pipe:
+            pipe.submit(["alice", "bob", b"carol", 7])
+        assert pool.query() == pytest.approx(4, rel=0.5)
+
+    def test_submit_after_close_raises(self):
+        pool = smb_pool(num_shards=2)
+        pipe = IngestPipeline(pool)
+        pipe.close()
+        with pytest.raises(RuntimeError):
+            pipe.submit([1, 2, 3])
+
+    def test_close_is_idempotent(self):
+        pipe = IngestPipeline(smb_pool(num_shards=2))
+        pipe.close()
+        pipe.close()
+
+    def test_rejects_bad_parameters(self):
+        pool = smb_pool(num_shards=2)
+        with pytest.raises(ValueError):
+            IngestPipeline(pool, chunk_size=0)
+        with pytest.raises(ValueError):
+            IngestPipeline(pool, queue_depth=0)
+
+    def test_empty_submit_is_noop(self):
+        pool = smb_pool(num_shards=2)
+        with IngestPipeline(pool) as pipe:
+            assert pipe.submit(np.array([], dtype=np.uint64)) == 0
+            assert pipe.estimate() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestCheckpoint:
+    def test_roundtrip_pool(self, tmp_path):
+        pool = smb_pool(num_shards=4, seed=5)
+        pool.record_many(distinct_items(5000, seed=20))
+        path = tmp_path / "pool.ckpt"
+        written = checkpoint.save(pool, path)
+        assert written == os.path.getsize(path)
+        restored = checkpoint.load(path)
+        assert isinstance(restored, ShardPool)
+        assert restored.to_bytes() == pool.to_bytes()
+
+    def test_restore_continues_identically(self, tmp_path):
+        pool = smb_pool(num_shards=4, seed=5)
+        pool.record_many(distinct_items(3000, seed=21))
+        path = tmp_path / "pool.ckpt"
+        checkpoint.save(pool, path)
+        restored = checkpoint.load(path)
+        extra = distinct_items(3000, seed=22)
+        pool.record_many(extra)
+        restored.record_many(extra)
+        assert restored.query() == pool.query()
+        assert restored.to_bytes() == pool.to_bytes()
+
+    def test_roundtrip_bare_estimator(self, tmp_path):
+        smb = SelfMorphingBitmap(800, threshold=80, seed=1)
+        smb.record_many(distinct_items(1000, seed=23))
+        path = tmp_path / "smb.ckpt"
+        checkpoint.save(smb, path)
+        restored = checkpoint.load(path)
+        assert isinstance(restored, SelfMorphingBitmap)
+        assert restored.query() == smb.query()
+
+    def test_overwrite_is_atomic_no_temp_residue(self, tmp_path):
+        pool = smb_pool(num_shards=2)
+        path = tmp_path / "pool.ckpt"
+        checkpoint.save(pool, path)
+        pool.record_many(distinct_items(100, seed=24))
+        checkpoint.save(pool, path)  # overwrite in place
+        assert checkpoint.load(path).to_bytes() == pool.to_bytes()
+        residue = [f for f in os.listdir(tmp_path)
+                   if f.startswith(".checkpoint-")]
+        assert residue == []
+
+    def test_corruption_rejected(self, tmp_path):
+        pool = smb_pool(num_shards=2)
+        pool.record_many(distinct_items(500, seed=25))
+        path = tmp_path / "pool.ckpt"
+        checkpoint.save(pool, path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip one payload bit -> CRC mismatch
+        (tmp_path / "bad.ckpt").write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="CRC"):
+            checkpoint.load(tmp_path / "bad.ckpt")
+        (tmp_path / "trunc.ckpt").write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(ValueError, match="truncated"):
+            checkpoint.load(tmp_path / "trunc.ckpt")
+        (tmp_path / "junk.ckpt").write_bytes(b"not a checkpoint at all")
+        with pytest.raises(ValueError, match="magic"):
+            checkpoint.load(tmp_path / "junk.ckpt")
+
+    def test_unregistered_estimator_rejected(self):
+        from repro import ExactCounter
+
+        with pytest.raises(ValueError, match="not checkpointable"):
+            checkpoint.save(ExactCounter(), "/tmp/never-written.ckpt")
+
+
+class TestEngineCli:
+    def test_engine_subcommand_runs(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "engine", "--shards", "2", "--items", "5000",
+            "--memory-bits", "4000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "records/sec" in out
+        assert "estimate after" in out
+
+    def test_checkpoint_restore_cycle(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "pool.ckpt")
+        assert main([
+            "engine", "--shards", "2", "--items", "2000",
+            "--memory-bits", "4000", "--checkpoint", path,
+        ]) == 0
+        assert os.path.exists(path)
+        assert main([
+            "engine", "--restore", path, "--items", "1000", "--seed", "9",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "restored" in out
+
+    def test_duplicated_stream(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "engine", "--shards", "2", "--items", "2000",
+            "--memory-bits", "4000", "--duplication", "2.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4,000" in out  # records ingested = 2x distinct
+
+    def test_bad_arguments_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["engine", "--shards", "0"])
+        with pytest.raises(SystemExit):
+            main(["engine", "--duplication", "0.5"])

@@ -1,0 +1,93 @@
+"""Fixed-seed statistical acceptance: sharding stays within Theorem 3.
+
+Each shard of a sharded SMB pool is itself an SMB over a sub-stream, so
+Theorem 3 (``repro.core.theory.smb_error_bound``) applies per shard at
+that shard's *true* sub-stream cardinality n_k. If every shard's
+relative error is within its δ_k, the pooled estimate's relative error
+is within the cardinality-weighted mean Σ n_k·δ_k / n (triangle
+inequality over the exact decomposition n = Σ n_k).
+
+The test derives, for K ∈ {1, 4, 16}, the smallest per-shard δ_k that
+Theorem 3 guarantees with probability ≥ 1 − 0.01/K (a union bound makes
+the whole-pool failure probability ≤ 1%), and asserts the measured
+pooled error at n = 10^5 stays inside the combined bound — on fixed
+seeds, so the assertion is deterministic. Sharding therefore does not
+degrade accuracy beyond what the theory already allows for the
+sub-stream sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SelfMorphingBitmap, ShardPool
+from repro.core.theory import smb_error_bound
+from repro.streams import distinct_items
+
+N = 100_000
+SHARD_BITS, SHARD_THRESHOLD = 5_000, 384  # the zoo's SMB configuration
+SEEDS = (0, 1, 2)
+
+
+def theorem3_delta(n_shard: int, confidence: float) -> float:
+    """Smallest δ with Theorem-3 β(δ) >= confidence for one shard."""
+    for delta in np.linspace(0.005, 0.95, 400):
+        beta = smb_error_bound(
+            float(delta), float(n_shard), SHARD_BITS, SHARD_THRESHOLD
+        )
+        if beta >= confidence:
+            return float(delta)
+    pytest.fail("no δ < 0.95 reaches the requested confidence")
+
+
+@pytest.mark.parametrize("num_shards", [1, 4, 16])
+def test_sharded_smb_within_theorem3_bound(num_shards):
+    """Pooled relative error <= the weighted per-shard Theorem 3 bound."""
+    confidence = 1.0 - 0.01 / num_shards
+    for seed in SEEDS:
+        pool = ShardPool(
+            lambda k: SelfMorphingBitmap(
+                SHARD_BITS, threshold=SHARD_THRESHOLD, seed=seed
+            ),
+            num_shards,
+            seed=seed,
+        )
+        items = distinct_items(N, seed=seed + 500)
+        pool.record_many(items)
+
+        sub_streams = pool.partitioner.split(items)
+        assert sum(sub.size for sub in sub_streams) == N
+        weighted_delta = sum(
+            sub.size * theorem3_delta(sub.size, confidence)
+            for sub in sub_streams
+        ) / N
+
+        measured = abs(pool.query() - N) / N
+        assert measured <= weighted_delta, (
+            f"K={num_shards} seed={seed}: measured {measured:.4f} "
+            f"exceeds Theorem 3 bound {weighted_delta:.4f}"
+        )
+
+
+def test_sharding_error_comparable_to_unsharded():
+    """Mean error of K=4/K=16 pools stays within 2x of K=1 (same total
+    memory per shard-stream ratio), averaged over the fixed seeds —
+    sharding does not systematically degrade accuracy."""
+    def mean_error(num_shards):
+        errors = []
+        for seed in SEEDS:
+            pool = ShardPool(
+                lambda k: SelfMorphingBitmap(
+                    SHARD_BITS, threshold=SHARD_THRESHOLD, seed=seed
+                ),
+                num_shards,
+                seed=seed,
+            )
+            pool.record_many(distinct_items(N, seed=seed + 500))
+            errors.append(abs(pool.query() - N) / N)
+        return float(np.mean(errors))
+
+    baseline = mean_error(1)
+    for num_shards in (4, 16):
+        # More shards = more total memory here, so errors should not
+        # blow up; allow 2x slack for per-shard small-sample noise.
+        assert mean_error(num_shards) <= max(2.0 * baseline, 0.02)
