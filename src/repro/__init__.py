@@ -38,6 +38,7 @@ from repro.estimators import (
     MultiResolutionBitmap,
     SuperLogLog,
 )
+from repro.kernels import HashPlane
 from repro.sketches import PerFlowSketch
 from repro.streams import (
     SyntheticTrace,
@@ -56,6 +57,7 @@ __all__ = [
     "CardinalityEstimator",
     "ExactCounter",
     "FMSketch",
+    "HashPlane",
     "HyperLogLog",
     "HyperLogLogPlusPlus",
     "HyperLogLogTailCut",

@@ -12,6 +12,8 @@ import struct
 
 import numpy as np
 
+from repro.kernels.scatter import scatter_or
+
 _WORD_BITS = 64
 _U64_6 = np.uint64(6)
 _U64_63 = np.uint64(63)
@@ -104,7 +106,7 @@ class BitVector:
         if indices.size == 0:
             return 0
         idx = indices.astype(np.uint64, copy=False)
-        np.bitwise_or.at(self._words, idx >> _U64_6, _U64_ONE << (idx & _U64_63))
+        scatter_or(self._words, idx >> _U64_6, _U64_ONE << (idx & _U64_63))
         new_ones = int(np.bitwise_count(self._words).sum())
         newly_set = new_ones - self._ones
         self._ones = new_ones

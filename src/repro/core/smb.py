@@ -26,9 +26,17 @@ Properties proved in the paper and enforced by tests here:
 - the maximum estimate exceeds MRB's at equal memory (§III-B).
 
 The batch path ``record_many`` is bit-for-bit equivalent to sequential
-``record`` calls: chunks that would cross the round threshold fall back
-to per-item processing (a crossing happens at most ``m/T`` times in an
-estimator's lifetime, so the amortized cost is negligible).
+``record`` calls, *including* round crossings: the crossing offset is
+located from the per-chunk count of newly set bits (the ``need``-th
+first-occurrence of a fresh position), the chunk is split there, the
+bitmap morphs, and the remainder re-enters under the advanced round's
+Step-1 filter. The geometric levels live on a shared
+:class:`~repro.kernels.HashPlane`, computed once per chunk; position
+hashing follows the algorithm's own economics — only arrivals that
+survive Step 1 are position-hashed (one dedup window at a time), which
+is exactly why SMB's throughput *grows* with cardinality. A plane that
+already carries a materialized position array (a mirror or pool
+prefetched it) is gathered from instead.
 """
 
 from __future__ import annotations
@@ -41,13 +49,15 @@ import numpy as np
 from repro.bitvector import BitVector
 from repro.estimators.base import CardinalityEstimator
 from repro.hashing import GeometricHash, UniformHash
+from repro.kernels import HashPlane, geometric_request, positions_request
 
 _HEADER = struct.Struct("<4sQQQQQ")  # magic, m, T, seed, r, v
 _MAGIC = b"SMB1"
 
-#: Chunk size of the batch recording path. Large enough to amortize the
-#: vectorized hashing, small enough that the per-item fallback on a
-#: round crossing stays cheap.
+#: Upper bound on the batch path's dedup window — the number of sampled
+#: arrivals examined by one ``np.unique`` pass when a morph may occur.
+#: Large enough to amortize the pass, small enough that overshooting a
+#: round crossing discards little work.
 BATCH_CHUNK = 8192
 
 
@@ -173,76 +183,154 @@ class SelfMorphingBitmap(CardinalityEstimator):
                 self.r += 1
                 self.v = 0
 
-    def _chunk_size(self) -> int:
-        """Adaptive batch chunk: small near a round boundary.
+    def plane_requests(self) -> tuple:
+        """Step-1 geometric levels only.
 
-        Crossing a round boundary forces the tail of the current chunk
-        to be reprocessed, so the chunk is sized to roughly twice the
-        expected number of arrivals until the next morph (new-bit rate
-        = p_r · zeros/m per arrival), clamped to [MIN, BATCH_CHUNK].
+        The Step-2 position hash is deliberately *not* requested:
+        prefetching it at full width would position-hash every arrival,
+        but the algorithm only hashes arrivals that survive Step 1 —
+        the source of SMB's growing recording throughput. The batch
+        path hashes positions per dedup window instead (and gathers
+        from the plane when some other consumer already materialized
+        the array).
+        """
+        return (geometric_request(self._geometric_hash.seed),)
+
+    def _dedup_window(self, need: int) -> int:
+        """Sampled arrivals per ``np.unique`` pass when a morph is near.
+
+        Sized to roughly twice the expected number of *sampled* arrivals
+        until the next morph (each sets a new bit with probability
+        zeros/m), clamped to [1024, BATCH_CHUNK]. Any window size is
+        exact; this only tunes how much work overshoots a crossing.
         """
         zeros = self._bits.zeros
         if zeros <= 0:
             return BATCH_CHUNK
-        remaining = self.T - self.v
-        expected = 2.0 * remaining * (self.m / zeros) * math.ldexp(1.0, self.r)
+        expected = 2.0 * need * (self.m / zeros)
         return max(1024, min(BATCH_CHUNK, int(expected)))
 
-    def _record_batch(self, values: np.ndarray) -> None:
-        m_u64 = np.uint64(self.m)
+    def _record_plane(self, plane: HashPlane) -> None:
+        size = plane.size
+        values = plane.values
+        materialized = plane.materialized()
+        if positions_request(self._position_hash.seed, self.m) in materialized:
+            # Another consumer (a mirror, a prefetching pool) already
+            # paid for the full position array: windows are gathers.
+            full_positions = plane.positions(self._position_hash.seed, self.m)
+
+            def positions_of(indices: np.ndarray) -> np.ndarray:
+                return full_positions[indices]
+
+        else:
+            modulus = np.uint64(self.m)
+
+            def positions_of(indices: np.ndarray) -> np.ndarray:
+                return self._position_hash.hash_array(values[indices]) % modulus
+
+        if geometric_request(self._geometric_hash.seed) in materialized:
+            full_levels = plane.geometric(self._geometric_hash.seed)
+
+            def levels_of(lo: int, hi: int) -> np.ndarray:
+                return full_levels[lo:hi]
+
+        else:
+            # Hash levels per chunk: a chunk's intermediates stay
+            # cache-resident across the splitmix64 passes, ~2× faster
+            # than one full-width pass over a long stream.
+            def levels_of(lo: int, hi: int) -> np.ndarray:
+                return self._geometric_hash.value_array(values[lo:hi])
+
         start = 0
-        while start < values.size:
-            chunk = values[start:start + self._chunk_size()]
+        while start < size:
+            chunk_start, chunk_end = start, min(size, start + BATCH_CHUNK)
+            levels = None
             if self.r == 0:
                 # Round 0 samples everything: the Step-1 comparison
-                # G(d) >= 0 is vacuous, so skip computing it (the hash
-                # op is still billed — the algorithm specifies it).
-                sampled_idx = np.arange(chunk.size)
-                sampled = chunk
+                # G(d) >= 0 is vacuous, so skip reading the levels (the
+                # hash op is still billed — the algorithm specifies it).
+                sampled = np.arange(chunk_start, chunk_end, dtype=np.int64)
             else:
-                levels = self._geometric_hash.value_array(chunk)
-                sampled_idx = np.flatnonzero(levels >= self.r)
-                if sampled_idx.size == 0:
-                    self.hash_ops += chunk.size
-                    start += chunk.size
-                    continue
-                sampled = chunk[sampled_idx]
-            positions = self._position_hash.hash_array(sampled) % m_u64
-            if self.v + sampled_idx.size < self.T:
-                # Even if every sampled arrival set a new bit the round
-                # could not end: apply directly, no dedup pass needed.
-                self.v += self._bits.set_many(positions)
-                self.hash_ops += chunk.size + sampled_idx.size
-                self.bits_accessed += sampled_idx.size
-                start += chunk.size
-                continue
-            # First occurrence of each position within the chunk decides
-            # whether that arrival sets a new bit, exactly as in the
-            # sequential semantics (order among *distinct* positions
-            # cannot matter while the round is fixed).
-            unique, first_idx = np.unique(positions, return_index=True)
-            new_first = first_idx[~self._bits.test_many(unique)]
+                levels = levels_of(chunk_start, chunk_end)
+                sampled = chunk_start + np.flatnonzero(levels >= self.r)
+            while start < chunk_end:
+                if sampled.size == 0:
+                    self.hash_ops += chunk_end - start
+                    start = chunk_end
+                    break
+                start = self._consume_round(
+                    positions_of, sampled, start, chunk_end
+                )
+                if start >= chunk_end:
+                    break
+                # A morph happened at `start`. The round-(r+1) sample
+                # set is a subset of the round-r one, so the chunk's
+                # candidates narrow incrementally; crossings are rare
+                # (at most m/T per stream), so this refilter is cheap.
+                if levels is None:
+                    levels = levels_of(chunk_start, chunk_end)
+                tail = sampled[np.searchsorted(sampled, start):]
+                sampled = tail[levels[tail - chunk_start] >= self.r]
+
+    def _consume_round(
+        self,
+        positions_of,
+        sampled: np.ndarray,
+        start: int,
+        size: int,
+    ) -> int:
+        """Apply the current round's sampled arrivals until it ends.
+
+        ``sampled`` holds the stream indices in ``[start, size)`` that
+        pass the current round's Step-1 filter (``size`` is the current
+        chunk's end). Consumes arrivals until the chunk is exhausted
+        (returns ``size``) or the round threshold is crossed — then
+        morphs and returns the stream index right after the crossing
+        arrival, whose remainder the caller refilters under the
+        advanced round.
+        """
+        offset = 0  # consumed prefix of `sampled`
+        while True:
             need = self.T - self.v
+            remaining = sampled.size - offset
+            if remaining < need:
+                # Even if every remaining sampled arrival set a new bit
+                # the round could not end: apply directly, no dedup
+                # pass needed.
+                self.v += self._bits.set_many(positions_of(sampled[offset:]))
+                self.hash_ops += (size - start) + remaining
+                self.bits_accessed += remaining
+                return size
+            # First occurrence of each position within the window
+            # decides whether that arrival sets a new bit, exactly as
+            # in the sequential semantics (order among *distinct*
+            # positions cannot matter while the round is fixed).
+            window = sampled[offset:offset + self._dedup_window(need)]
+            window_positions = positions_of(window)
+            unique, first_idx = np.unique(window_positions, return_index=True)
+            new_first = first_idx[~self._bits.test_many(unique)]
             if new_first.size < need:
-                # The whole chunk stays inside the current round.
+                # The whole window stays inside the current round.
                 self._bits.set_many(unique)
                 self.v += new_first.size
-                self.hash_ops += chunk.size + sampled_idx.size
-                self.bits_accessed += sampled_idx.size
-                start += chunk.size
-            else:
-                # The round threshold is crossed at the `need`-th new
-                # bit. Consume the chunk exactly up to and including the
-                # crossing arrival, morph, and reprocess the remainder
-                # under the advanced round (new Step-1 filter).
-                cut = int(np.sort(new_first)[need - 1])
-                self._bits.set_many(positions[:cut + 1])
-                self.r += 1
-                self.v = 0
-                consumed = int(sampled_idx[cut]) + 1
-                self.hash_ops += consumed + cut + 1
-                self.bits_accessed += cut + 1
-                start += consumed
+                consumed = int(window[-1]) + 1
+                self.hash_ops += (consumed - start) + window.size
+                self.bits_accessed += window.size
+                start = consumed
+                offset += window.size
+                continue
+            # The round threshold is crossed at the `need`-th new bit.
+            # Consume the stream exactly up to and including the
+            # crossing arrival and morph; the caller reprocesses the
+            # remainder under the advanced round (new Step-1 filter).
+            cut = int(np.partition(new_first, need - 1)[need - 1])
+            self._bits.set_many(window_positions[:cut + 1])
+            self.r += 1
+            self.v = 0
+            consumed = int(window[cut]) + 1
+            self.hash_ops += (consumed - start) + cut + 1
+            self.bits_accessed += cut + 1
+            return consumed
 
     # ------------------------------------------------------------------
     # Querying (Algorithm 2)

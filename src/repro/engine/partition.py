@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hashing import UniformHash, canonical_u64_array
+from repro.kernels import HashPlane, positions_request
 
 #: Seed offset of the partition hash, distinct from every offset the
 #: estimators use (SMB position 0x504F53, LogLog/HLL geometric 0x47454F),
@@ -99,6 +100,38 @@ class Partitioner:
         )
         return [
             grouped[boundaries[k]:boundaries[k + 1]]
+            for k in range(self.num_shards)
+        ]
+
+    def plane_request(self) -> tuple:
+        """The routing hash as a plane request (modulus ``num_shards``)."""
+        return positions_request(self._hash.seed, self.num_shards)
+
+    def split_plane(self, plane: HashPlane) -> list[HashPlane]:
+        """Split a hash plane into ``K`` disjoint per-shard sub-planes.
+
+        Same grouping (and the same stability guarantee) as
+        :meth:`split`, but operating on a shared
+        :class:`~repro.kernels.HashPlane`: the routing hash is read from
+        the plane and every hash array already materialized on it is
+        *gathered* into the sub-planes, so downstream shards never
+        re-hash — the chunk is canonicalized and hashed exactly once no
+        matter how many shards consume it.
+        """
+        if self.num_shards == 1:
+            return [plane]
+        ids = plane.positions(self._hash.seed, self.num_shards)
+        if self.num_shards <= 32:
+            return [
+                plane.take(np.flatnonzero(ids == np.uint64(k)))
+                for k in range(self.num_shards)
+            ]
+        order = np.argsort(ids, kind="stable")
+        boundaries = np.searchsorted(
+            ids[order], np.arange(self.num_shards + 1, dtype=np.uint64)
+        )
+        return [
+            plane.take(order[boundaries[k]:boundaries[k + 1]])
             for k in range(self.num_shards)
         ]
 

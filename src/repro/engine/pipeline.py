@@ -4,14 +4,17 @@
 into a concurrent streaming sink:
 
 - the **submitting thread** canonicalizes each incoming batch, slices it
-  into chunks of ``chunk_size`` items, partitions every chunk, and
-  enqueues the per-shard sub-arrays;
+  into chunks of ``chunk_size`` items, builds one shared
+  :class:`~repro.kernels.HashPlane` per chunk, prefetches the hash
+  arrays the pool's shards will read, and enqueues gathered per-shard
+  sub-planes — so a chunk is hashed exactly once, in the producer;
 - **one worker thread per shard** drains its own bounded FIFO queue into
   its own estimator. Exclusive shard ownership means no locks on the hot
   path, and FIFO ordering preserves within-shard arrival order — so a
   drained pipeline holds *bit-for-bit* the same state as synchronous
   ``pool.record_many`` over the same stream (asserted by the stateful
-  engine test).
+  engine test). Sub-planes own gathered copies of their arrays, so
+  handing them across the thread boundary is safe.
 
 **Backpressure.** Queues are bounded (``queue_depth`` sub-batches per
 shard); :meth:`IngestPipeline.submit` blocks when a shard's consumer
@@ -42,10 +45,11 @@ import numpy as np
 
 from repro.engine.shards import ShardPool
 from repro.hashing import canonical_u64_array
+from repro.kernels import HashPlane
 
-#: Default chunk size of the submit path — same order as the estimators'
-#: own batch chunking (``repro.core.smb.BATCH_CHUNK``), large enough to
-#: amortize vectorized hashing, small enough to keep queues responsive.
+#: Default chunk size of the submit path — same order as SMB's dedup
+#: window (``repro.core.smb.BATCH_CHUNK``), large enough to amortize
+#: vectorized hashing, small enough to keep queues responsive.
 DEFAULT_CHUNK = 8192
 
 _STOP = None  # queue sentinel
@@ -109,7 +113,7 @@ class IngestPipeline:
                 if batch is _STOP:
                     return
                 if not self._errors:
-                    shard._record_batch(batch)
+                    shard._record_plane(batch)
             except BaseException as error:  # pragma: no cover - defensive
                 self._errors.append(error)
             finally:
@@ -130,13 +134,18 @@ class IngestPipeline:
         self._raise_pending()
         values = canonical_u64_array(items)
         if self.pool.num_shards > 1:
-            # Same routing-hash accounting as ShardPool._record_batch
+            # Same routing-hash accounting as ShardPool._record_plane
             # (the pipeline partitions directly, bypassing that method).
             self.pool._route_hash_ops += int(values.size)
+        # Hash in the producer, at full chunk width: NumPy releases the
+        # GIL inside the vectorized hash kernels, so prefetching here
+        # overlaps with the workers applying earlier sub-planes.
+        requests = self.pool.plane_requests()
         for start in range(0, values.size, self.chunk_size):
-            chunk = values[start:start + self.chunk_size]
+            plane = HashPlane(values[start:start + self.chunk_size])
+            plane.prefetch(requests)
             for shard_index, part in enumerate(
-                self.pool.partitioner.split(chunk)
+                self.pool.partitioner.split_plane(plane)
             ):
                 if part.size:
                     self._queues[shard_index].put(part)

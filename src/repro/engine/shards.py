@@ -35,10 +35,9 @@ from __future__ import annotations
 import struct
 from typing import Callable
 
-import numpy as np
-
 from repro.estimators.base import CardinalityEstimator
 from repro.engine.partition import Partitioner
+from repro.kernels import HashPlane
 
 _HEADER = struct.Struct("<4sHIQ")  # magic, version, num_shards, seed
 _SHARD_HEADER = struct.Struct("<BQ")  # class-name length, payload length
@@ -185,12 +184,42 @@ class ShardPool(CardinalityEstimator):
             self._route_hash_ops += 1
         self.shards[self.partitioner.shard_of(value)]._record_u64(value)
 
-    def _record_batch(self, values: np.ndarray) -> None:
+    def plane_requests(self) -> tuple:
+        """Routing hash plus every request shared by all shards.
+
+        Requests unique to a subset of shards are left out: they are
+        cheaper to compute at sub-plane width after partitioning than
+        at full chunk width before it. ``ShardPool.of`` gives every
+        shard the same estimator seed, so there the full request set is
+        prefetched and the shards never hash at all.
+        """
+        requests: list[tuple] = []
         if self.num_shards > 1:
-            self._route_hash_ops += values.size
-        for shard, part in zip(self.shards, self.partitioner.split(values)):
+            requests.append(self.partitioner.plane_request())
+        counts: dict[tuple, int] = {}
+        for shard in self.shards:
+            for request in dict.fromkeys(shard.plane_requests()):
+                counts[request] = counts.get(request, 0) + 1
+        requests.extend(
+            request
+            for request, count in counts.items()
+            if count == self.num_shards and request not in requests
+        )
+        return tuple(requests)
+
+    def _record_plane(self, plane: HashPlane) -> None:
+        if self.num_shards == 1:
+            self.shards[0]._record_plane(plane)
+            return
+        self._route_hash_ops += plane.size
+        # Hash once at full vector width, then hand each shard a pure
+        # gather of the arrays it will read.
+        plane.prefetch(self.plane_requests())
+        for shard, part in zip(
+            self.shards, self.partitioner.split_plane(plane)
+        ):
             if part.size:
-                shard._record_batch(part)
+                shard._record_plane(part)
 
     # ------------------------------------------------------------------
     # Querying

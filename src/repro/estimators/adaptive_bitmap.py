@@ -15,11 +15,10 @@ exposes exactly that behaviour, which the ablation experiments exercise.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.estimators.base import CardinalityEstimator
 from repro.estimators.bitmap import Bitmap
 from repro.estimators.mrb import MultiResolutionBitmap
+from repro.kernels import HashPlane
 
 #: Target expected fill of the sampled bitmap when p is tuned: the
 #: optimal linear-counting load sits slightly above 1 item per bit.
@@ -89,9 +88,18 @@ class AdaptiveBitmap(CardinalityEstimator):
         self.hash_ops = self._probe.hash_ops + self._bitmap.hash_ops
         self.bits_accessed = self._probe.bits_accessed + self._bitmap.bits_accessed
 
-    def _record_batch(self, values: np.ndarray) -> None:
-        self._probe._record_batch(values)
-        self._bitmap._record_batch(values)
+    def plane_requests(self) -> tuple:
+        """Union of the probe's and the main bitmap's requests."""
+        return tuple(self._probe.plane_requests()) + tuple(
+            self._bitmap.plane_requests()
+        )
+
+    def _record_plane(self, plane: HashPlane) -> None:
+        # One shared plane: probe and bitmap consume the same chunk
+        # without re-canonicalizing (their hash seeds differ, so each
+        # materializes its own arrays on the plane).
+        self._probe._record_plane(plane)
+        self._bitmap._record_plane(plane)
         self.hash_ops = self._probe.hash_ops + self._bitmap.hash_ops
         self.bits_accessed = self._probe.bits_accessed + self._bitmap.bits_accessed
 

@@ -6,25 +6,34 @@ Every estimator in this library implements :class:`CardinalityEstimator`:
 - ``record_many(items)`` — batch recording path, *bit-for-bit equivalent*
   to calling ``record`` in a loop (a hypothesis property test asserts
   this for every estimator);
+- ``record_plane(plane)`` — the same batch path over a shared
+  :class:`~repro.kernels.HashPlane`, so several consumers of one chunk
+  (mirrors, shards, sketch rows, benchmark baselines) hash it once;
 - ``query()`` — produce the cardinality estimate without mutating state;
 - ``memory_bits()`` — the memory footprint the paper's `m` refers to
   (the recording data structure, not Python object overhead);
 - instrumentation counters ``hash_ops`` and ``bits_accessed`` that let
   the Table I experiment *measure* recording/query overhead instead of
-  copying the paper's analytic table.
+  copying the paper's analytic table. The counters account the
+  *algorithm's* hash operations, so a plane cache hit still bills them.
 
 Items may be ``int``, ``str`` or ``bytes``; batch paths accept any
 iterable, with a zero-copy fast path for ``numpy`` ``uint64`` arrays.
+
+Subclasses vectorize by overriding ``_record_plane``; the scalar
+``_record_batch`` loop in this class is the executable specification
+the equivalence property tests compare every vectorized path against.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.hashing import canonical_u64, canonical_u64_array
+from repro.kernels import HashPlane
 
 
 class CardinalityEstimator(ABC):
@@ -51,14 +60,44 @@ class CardinalityEstimator(ABC):
         """
         values = canonical_u64_array(items)
         if values.size:
-            self._record_batch(values)
+            self._record_plane(HashPlane(values))
+
+    def record_plane(self, plane: HashPlane) -> None:
+        """Record every value of a shared hash plane.
+
+        Callers that feed one chunk to several consumers build a single
+        :class:`~repro.kernels.HashPlane` and pass it to each; hash
+        arrays are computed once per ``(kind, seed)`` and shared.
+        Semantically identical to ``record_many(plane.values)``.
+        """
+        if plane.size:
+            self._record_plane(plane)
+
+    def plane_requests(self) -> Sequence[tuple]:
+        """The hash arrays this estimator reads from a plane.
+
+        Pools and pipelines prefetch these at full vector width before
+        partitioning a chunk, so per-shard sub-planes are pure gathers.
+        The default (no requests) is correct for any estimator — it only
+        forgoes the prefetch optimization.
+        """
+        return ()
 
     @abstractmethod
     def _record_u64(self, value: int) -> None:
         """Record one canonicalized uint64 value."""
 
+    def _record_plane(self, plane: HashPlane) -> None:
+        """Record a hash plane; subclasses override with kernel paths."""
+        self._record_batch(plane.values)
+
     def _record_batch(self, values: np.ndarray) -> None:
-        """Record a uint64 array; default falls back to the scalar path."""
+        """Reference scalar path: record a uint64 array item by item.
+
+        This loop is the executable specification of recording; the
+        contract property tests replay every vectorized ``_record_plane``
+        against it and require bit-for-bit identical state.
+        """
         for value in values.tolist():
             self._record_u64(value)
 

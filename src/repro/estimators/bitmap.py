@@ -18,6 +18,7 @@ import numpy as np
 from repro.bitvector import BitVector
 from repro.estimators.base import CardinalityEstimator
 from repro.hashing import MASK64, UniformHash
+from repro.kernels import HashPlane, positions_request, uniform_request
 
 _HEADER = struct.Struct("<4sQQdQ")  # magic, memory_bits, seed, p, reserved
 _MAGIC = b"BMP1"
@@ -74,16 +75,23 @@ class Bitmap(CardinalityEstimator):
         self.bits_accessed += 1
         self._bits.set(self._position_hash.hash_u64(value) % self.m)
 
-    def _record_batch(self, values: np.ndarray) -> None:
+    def plane_requests(self) -> tuple:
+        """Position hash, plus the sampling hash when p < 1."""
+        requests = (positions_request(self._position_hash.seed, self.m),)
         if self.p < 1.0:
-            self.hash_ops += values.size
-            sampled = self._sample_hash.hash_array(values)
-            values = values[sampled < np.uint64(self._sample_threshold)]
-            if values.size == 0:
+            requests += (uniform_request(self._sample_hash.seed),)
+        return requests
+
+    def _record_plane(self, plane: HashPlane) -> None:
+        positions = plane.positions(self._position_hash.seed, self.m)
+        if self.p < 1.0:
+            self.hash_ops += plane.size
+            sampled = plane.uniform(self._sample_hash.seed)
+            positions = positions[sampled < np.uint64(self._sample_threshold)]
+            if positions.size == 0:
                 return
-        self.hash_ops += values.size
-        self.bits_accessed += values.size
-        positions = self._position_hash.hash_array(values) % np.uint64(self.m)
+        self.hash_ops += positions.size
+        self.bits_accessed += positions.size
         self._bits.set_many(positions)
 
     # ------------------------------------------------------------------

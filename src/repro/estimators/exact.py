@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.estimators.base import CardinalityEstimator
+from repro.kernels import HashPlane
 
 
 class ExactCounter(CardinalityEstimator):
@@ -26,9 +27,9 @@ class ExactCounter(CardinalityEstimator):
         self.bits_accessed += 64
         self._seen.add(value)
 
-    def _record_batch(self, values: np.ndarray) -> None:
-        self.bits_accessed += 64 * values.size
-        self._seen.update(np.unique(values).tolist())
+    def _record_plane(self, plane: HashPlane) -> None:
+        self.bits_accessed += 64 * plane.size
+        self._seen.update(np.unique(plane.values).tolist())
 
     def query(self) -> float:
         return float(len(self._seen))

@@ -25,6 +25,12 @@ from repro.hashing import (
     trailing_zeros,
     trailing_zeros_array,
 )
+from repro.kernels import (
+    HashPlane,
+    geometric_request,
+    positions_request,
+    scatter_or,
+)
 
 #: Flajolet–Martin correction factor (their φ; asymptotic value).
 PHI = 0.77351
@@ -71,14 +77,21 @@ class FMSketch(CardinalityEstimator):
         bit = min(self._geometric_hash.value_u64(value), REGISTER_BITS - 1)
         self._registers[register] |= np.uint32(1 << bit)
 
-    def _record_batch(self, values: np.ndarray) -> None:
-        self.hash_ops += 2 * values.size
-        self.bits_accessed += values.size
-        registers = self._route_hash.hash_array(values) % np.uint64(self.t)
+    def plane_requests(self) -> tuple:
+        """Register-routing hash and geometric bit-index hash."""
+        return (
+            positions_request(self._route_hash.seed, self.t),
+            geometric_request(self._geometric_hash.seed),
+        )
+
+    def _record_plane(self, plane: HashPlane) -> None:
+        self.hash_ops += 2 * plane.size
+        self.bits_accessed += plane.size
+        registers = plane.positions(self._route_hash.seed, self.t)
         bits = np.minimum(
-            self._geometric_hash.value_array(values), REGISTER_BITS - 1
+            plane.geometric(self._geometric_hash.seed), REGISTER_BITS - 1
         ).astype(np.uint32)
-        np.bitwise_or.at(self._registers, registers, np.uint32(1) << bits)
+        scatter_or(self._registers, registers, np.uint32(1) << bits)
 
     # ------------------------------------------------------------------
     # Querying

@@ -31,6 +31,12 @@ import numpy as np
 from repro.estimators.base import CardinalityEstimator
 from repro.estimators.hll import MAX_RANK
 from repro.hashing import GeometricHash, UniformHash
+from repro.kernels import (
+    HashPlane,
+    geometric_request,
+    positions_request,
+    scatter_max,
+)
 
 REGISTER_BITS = 3
 OFFSET_MAX = (1 << REGISTER_BITS) - 1  # 7
@@ -111,26 +117,35 @@ class HyperLogLogTailCutPlus(CardinalityEstimator):
         self._offsets[register] = min(offset, OFFSET_MAX)
         self._normalize()
 
-    def _record_batch(self, values: np.ndarray) -> None:
-        self.hash_ops += 2 * values.size
-        self.bits_accessed += REGISTER_BITS * values.size
+    def plane_requests(self) -> tuple:
+        """Register-routing hash and geometric rank hash."""
+        return (
+            positions_request(self._route_hash.seed, self.t),
+            geometric_request(self._geometric_hash.seed),
+        )
+
+    def _record_plane(self, plane: HashPlane) -> None:
+        self.hash_ops += 2 * plane.size
+        self.bits_accessed += REGISTER_BITS * plane.size
+        registers = plane.positions(self._route_hash.seed, self.t)
+        ranks = (
+            np.minimum(
+                plane.geometric(self._geometric_hash.seed).astype(np.int64),
+                MAX_RANK - 1,
+            )
+            + 1
+        )
         # Process in chunks and re-normalize between them: with only 3
         # offset bits, applying a huge batch against a stale base would
         # clip the rank distribution's entire upper half, whereas the
         # sequential algorithm's base keeps pace with the stream.
         chunk_size = max(4 * self.t, 4096)
-        for start in range(0, values.size, chunk_size):
-            chunk = values[start:start + chunk_size]
-            registers = self._route_hash.hash_array(chunk) % np.uint64(self.t)
-            ranks = (
-                np.minimum(
-                    self._geometric_hash.value_array(chunk).astype(np.int64),
-                    MAX_RANK - 1,
-                )
-                + 1
-            )
-            offsets = np.clip(ranks - self.base, 0, OFFSET_MAX).astype(np.uint8)
-            np.maximum.at(self._offsets, registers, offsets)
+        for start in range(0, plane.size, chunk_size):
+            stop = start + chunk_size
+            offsets = np.clip(
+                ranks[start:stop] - self.base, 0, OFFSET_MAX
+            ).astype(np.uint8)
+            scatter_max(self._offsets, registers[start:stop], offsets)
             self._normalize()
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.estimators.base import CardinalityEstimator
 from repro.hashing import UniformHash
+from repro.kernels import HashPlane, uniform_request
 
 _HEADER = struct.Struct("<4sQQQ")
 _MAGIC = b"KMV1"
@@ -82,10 +83,20 @@ class KMinValues(CardinalityEstimator):
             self._members.discard(evicted)
             self._members.add(hashed)
 
-    def _record_batch(self, values: np.ndarray) -> None:
-        self.hash_ops += values.size
-        self.bits_accessed += 64 * values.size
-        hashes = np.unique(self._hash.hash_array(values))
+    def plane_requests(self) -> tuple:
+        """The single uniform value hash."""
+        return (uniform_request(self._hash.seed),)
+
+    def _record_plane(self, plane: HashPlane) -> None:
+        self.hash_ops += plane.size
+        self.bits_accessed += 64 * plane.size
+        hashes = plane.uniform(self._hash.seed)
+        if len(self._heap) >= self.k:
+            # A full synopsis only admits hashes below the current k-th
+            # minimum, and admissions can only lower that threshold, so
+            # the prefilter is exact.
+            hashes = hashes[hashes < np.uint64(-self._heap[0])]
+        hashes = np.unique(hashes)
         # Only the k smallest of the batch can matter.
         if hashes.size > self.k:
             hashes = hashes[: self.k]

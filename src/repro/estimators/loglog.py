@@ -23,6 +23,12 @@ import numpy as np
 
 from repro.estimators.base import CardinalityEstimator
 from repro.hashing import GeometricHash, UniformHash
+from repro.kernels import (
+    HashPlane,
+    geometric_request,
+    positions_request,
+    scatter_max,
+)
 
 REGISTER_BITS = 5
 REGISTER_MAX = (1 << REGISTER_BITS) - 1
@@ -69,15 +75,22 @@ class LogLog(CardinalityEstimator):
         if rank > self._registers[register]:
             self._registers[register] = rank
 
-    def _record_batch(self, values: np.ndarray) -> None:
-        self.hash_ops += 2 * values.size
-        self.bits_accessed += REGISTER_BITS * values.size
-        registers = self._route_hash.hash_array(values) % np.uint64(self.t)
+    def plane_requests(self) -> tuple:
+        """Register-routing hash and geometric rank hash."""
+        return (
+            positions_request(self._route_hash.seed, self.t),
+            geometric_request(self._geometric_hash.seed),
+        )
+
+    def _record_plane(self, plane: HashPlane) -> None:
+        self.hash_ops += 2 * plane.size
+        self.bits_accessed += REGISTER_BITS * plane.size
+        registers = plane.positions(self._route_hash.seed, self.t)
         ranks = np.minimum(
-            self._geometric_hash.value_array(values).astype(np.uint16) + 1,
+            plane.geometric(self._geometric_hash.seed).astype(np.uint16) + 1,
             REGISTER_MAX,
         ).astype(np.uint8)
-        np.maximum.at(self._registers, registers, ranks)
+        scatter_max(self._registers, registers, ranks)
 
     # ------------------------------------------------------------------
     # Querying

@@ -31,6 +31,7 @@ import numpy as np
 from repro.bitvector import BitVector
 from repro.estimators.base import CardinalityEstimator
 from repro.hashing import GeometricHash, UniformHash
+from repro.kernels import HashPlane, geometric_request, positions_request
 
 _HEADER = struct.Struct("<4sQQQd")
 _MAGIC = b"MRB1"
@@ -106,23 +107,23 @@ class MultiResolutionBitmap(CardinalityEstimator):
         position = self._position_hash.hash_u64(value) % self.b
         self._components[level].set(position)
 
-    def _record_batch(self, values: np.ndarray) -> None:
-        self.hash_ops += 2 * values.size
-        self.bits_accessed += values.size
-        levels = np.minimum(self._level_hash.value_array(values), self.k - 1)
-        positions = self._position_hash.hash_array(values) % np.uint64(self.b)
-        # Group positions by level with a single sort instead of one
-        # mask scan per component.
-        order = np.argsort(levels, kind="stable")
-        sorted_levels = levels[order]
-        sorted_positions = positions[order]
-        run_starts = np.concatenate(
-            [[0], np.flatnonzero(np.diff(sorted_levels)) + 1]
+    def plane_requests(self) -> tuple:
+        """Geometric level hash and component-position hash."""
+        return (
+            geometric_request(self._level_hash.seed),
+            positions_request(self._position_hash.seed, self.b),
         )
-        run_ends = np.concatenate([run_starts[1:], [sorted_levels.size]])
-        for start, end in zip(run_starts.tolist(), run_ends.tolist()):
-            level = int(sorted_levels[start])
-            self._components[level].set_many(sorted_positions[start:end])
+
+    def _record_plane(self, plane: HashPlane) -> None:
+        self.hash_ops += 2 * plane.size
+        self.bits_accessed += plane.size
+        levels = np.minimum(plane.geometric(self._level_hash.seed), self.k - 1)
+        positions = plane.positions(self._position_hash.seed, self.b)
+        # Route positions to components with one compare-and-gather pass
+        # per *occupied* level (k is small; a sort would cost more).
+        occupied = np.flatnonzero(np.bincount(levels, minlength=self.k))
+        for level in occupied.tolist():
+            self._components[level].set_many(positions[levels == level])
 
     # ------------------------------------------------------------------
     # Querying

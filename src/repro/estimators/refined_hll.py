@@ -26,6 +26,12 @@ import numpy as np
 
 from repro.estimators.base import CardinalityEstimator
 from repro.hashing import UniformHash, trailing_zeros
+from repro.kernels import (
+    HashPlane,
+    positions_request,
+    scatter_max,
+    uniform_request,
+)
 
 REGISTER_MAX = 31
 
@@ -91,12 +97,19 @@ class RefinedHyperLogLog(CardinalityEstimator):
         if rank > self._registers[register]:
             self._registers[register] = rank
 
-    def _record_batch(self, values: np.ndarray) -> None:
-        self.hash_ops += 2 * values.size
-        self.bits_accessed += 5 * values.size
-        registers = self._route_hash.hash_array(values) % np.uint64(self.t)
-        ranks = self._level_array(self._level_hash.hash_array(values)) + np.uint8(1)
-        np.maximum.at(self._registers, registers, ranks)
+    def plane_requests(self) -> tuple:
+        """Register-routing hash and the level hash's uniform input."""
+        return (
+            positions_request(self._route_hash.seed, self.t),
+            uniform_request(self._level_hash.seed),
+        )
+
+    def _record_plane(self, plane: HashPlane) -> None:
+        self.hash_ops += 2 * plane.size
+        self.bits_accessed += 5 * plane.size
+        registers = plane.positions(self._route_hash.seed, self.t)
+        ranks = self._level_array(plane.uniform(self._level_hash.seed)) + np.uint8(1)
+        scatter_max(self._registers, registers, ranks)
 
     # ------------------------------------------------------------------
     # Coefficient learning + querying

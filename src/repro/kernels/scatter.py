@@ -1,0 +1,81 @@
+"""Scatter-reduce kernels: vectorized ``target[idx] op= values``.
+
+Every register-file estimator's batch path reduces to one of two
+scatter operations: an elementwise *maximum* into a register array
+(LogLog family, HLL family, tail-cut offsets, virtual HLL pools) or an
+elementwise *bitwise OR* into a word array (FM registers, the packed
+``BitVector`` words behind every bitmap estimator). Centralizing them
+here keeps the estimators strategy-agnostic.
+
+Strategy selection, measured on 10^6 random updates into a few thousand
+registers (see ``benchmarks/bench_kernels.py``):
+
+- NumPy >= 1.25 ships *indexed loops* for ``ufunc.at``, making
+  ``np.maximum.at`` / ``np.bitwise_or.at`` the fastest option by a wide
+  margin (~2 ms and ~9 ms per 10^6 updates here — 50x faster than a
+  stable argsort + ``reduceat`` pass, whose sort alone costs ~80 ms);
+- on older NumPy, ``ufunc.at`` falls back to a notoriously slow
+  buffered item loop, and the sorted ``reduceat`` grouping wins. That
+  path is kept as the portable fallback and exercised directly by the
+  kernel tests so both strategies stay bit-for-bit interchangeable.
+
+Both strategies are exact (no floating point involved), so the choice
+is invisible to the estimator contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: NumPy 1.25 introduced indexed ufunc.at loops (numpy/numpy#23136),
+#: turning the scatter hot path from a buffered item loop into a single
+#: C pass. Selected once at import.
+_FAST_UFUNC_AT = np.lib.NumpyVersion(np.__version__) >= "1.25.0"
+
+
+def _grouped(indices: np.ndarray, values: np.ndarray):
+    """Stable-sort ``(indices, values)`` and locate the group starts.
+
+    Returns ``(sorted_indices_at_starts, group_starts, sorted_values)``
+    ready for a ``ufunc.reduceat`` over each equal-index run. Stability
+    is not required for max/or (both are commutative and idempotent)
+    but keeps the kernel reusable for order-sensitive reductions.
+    """
+    order = np.argsort(indices, kind="stable")
+    sorted_idx = indices[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_idx[1:] != sorted_idx[:-1]))
+    )
+    return sorted_idx[starts], starts, values[order]
+
+
+def scatter_max(
+    target: np.ndarray, indices: np.ndarray, values: np.ndarray
+) -> None:
+    """In-place ``target[indices] = max(target[indices], values)``.
+
+    Duplicate indices are reduced with ``max`` (equivalent to applying
+    the updates sequentially in any order).
+    """
+    if indices.size == 0:
+        return
+    if _FAST_UFUNC_AT:
+        np.maximum.at(target, indices, values)
+        return
+    slots, starts, sorted_values = _grouped(indices, values)
+    reduced = np.maximum.reduceat(sorted_values, starts)
+    target[slots] = np.maximum(target[slots], reduced)
+
+
+def scatter_or(
+    target: np.ndarray, indices: np.ndarray, values: np.ndarray
+) -> None:
+    """In-place ``target[indices] |= values`` with duplicate reduction."""
+    if indices.size == 0:
+        return
+    if _FAST_UFUNC_AT:
+        np.bitwise_or.at(target, indices, values)
+        return
+    slots, starts, sorted_values = _grouped(indices, values)
+    reduced = np.bitwise_or.reduceat(sorted_values, starts)
+    target[slots] = target[slots] | reduced

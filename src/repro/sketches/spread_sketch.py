@@ -31,6 +31,7 @@ from typing import Callable
 
 from repro.estimators.base import CardinalityEstimator
 from repro.hashing import GeometricHash, UniformHash, canonical_u64, splitmix64
+from repro.kernels import HashPlane
 
 
 class _Cell:
@@ -109,9 +110,13 @@ class SpreadSketch:
             np.uint64(splitmix64(flow_u64)) ^ values
         )
         best_level = int(levels.max())
+        # One shared hash plane across the d rows: when the factory
+        # builds same-seed estimators (the default), the item hashes
+        # are computed once and every row's cell reads them from cache.
+        plane = HashPlane(values)
         for row, row_hash in enumerate(self._row_hashes):
             cell = self._cells[row][row_hash.hash_u64(flow_u64) % self.w]
-            cell.estimator._record_batch(values)
+            cell.estimator.record_plane(plane)
             if best_level >= cell.level:
                 cell.level = best_level
                 cell.candidate = flow_u64

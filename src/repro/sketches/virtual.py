@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.bitvector import BitVector
 from repro.estimators.hll import MAX_RANK, alpha
+from repro.kernels import scatter_max
 from repro.hashing import (
     GeometricHash,
     UniformHash,
@@ -198,7 +199,7 @@ class VirtualHyperLogLog:
             )
             + 1
         ).astype(np.uint8)
-        np.maximum.at(self._registers, slots, ranks)
+        scatter_max(self._registers, slots, ranks)
 
     def _raw(self, registers: np.ndarray) -> float:
         count = registers.size

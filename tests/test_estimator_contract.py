@@ -16,7 +16,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import ExactCounter, HyperLogLogTailCut
+from repro import ExactCounter, HashPlane, HyperLogLogTailCut, SelfMorphingBitmap
 from repro.streams import distinct_items
 
 item_lists = st.lists(st.integers(0, 2**64 - 1), min_size=0, max_size=400)
@@ -194,6 +194,104 @@ class TestBitForBitEquivalence:
             assert whole.to_bytes() == split.to_bytes()
         except NotImplementedError:
             pytest.skip(f"{type(whole).__name__} does not serialize")
+
+
+class TestPlaneEquivalence:
+    """The kernels-layer contract: recording through a shared, fully
+    prefetched :class:`HashPlane` is bit-for-bit the scalar loop, and a
+    plane cache hit never changes the billed hash operations."""
+
+    @settings(**FIXTURE_SETTINGS)
+    @given(items=item_lists)
+    def test_prefetched_plane_equals_scalar(self, estimator_factory, items):
+        planar = estimator_factory()
+        scalar = estimator_factory()
+        if isinstance(planar, HyperLogLogTailCut):
+            pytest.skip("tail-cut state equivalence is chunk-granular")
+        plane = HashPlane.of(np.asarray(items, dtype=np.uint64))
+        plane.prefetch(planar.plane_requests())  # warm every cache entry
+        planar.record_plane(plane)
+        for item in items:
+            scalar.record(item)
+        try:
+            assert planar.to_bytes() == scalar.to_bytes()
+        except NotImplementedError:
+            pytest.skip(f"{type(planar).__name__} does not serialize")
+        assert planar.hash_ops == scalar.hash_ops
+        assert planar.bits_accessed == scalar.bits_accessed
+
+    def test_shared_plane_across_mirrors(self, estimator_factory):
+        # Two same-seed mirrors consuming ONE plane must each end up in
+        # the state an independent record_many would produce — the hash
+        # arrays are computed once and read twice.
+        items = distinct_items(3000, seed=17)
+        plane = HashPlane.of(items)
+        first, second = estimator_factory(), estimator_factory()
+        first.record_plane(plane)
+        second.record_plane(plane)
+        solo = estimator_factory()
+        solo.record_many(items)
+        assert first.query() == solo.query()
+        assert second.query() == solo.query()
+        try:
+            assert first.to_bytes() == solo.to_bytes()
+            assert second.to_bytes() == solo.to_bytes()
+        except NotImplementedError:
+            pass
+
+    def test_plane_requests_are_materializable(self, estimator_factory):
+        # Every advertised request must be a kind the plane understands.
+        estimator = estimator_factory()
+        plane = HashPlane.of(distinct_items(64, seed=3))
+        plane.prefetch(estimator.plane_requests())
+        for request in estimator.plane_requests():
+            assert request in plane.materialized()
+
+
+class TestSMBRoundCrossings:
+    """The SMB batch path's hardest case: morphs inside a chunk.
+
+    A small configuration (m=64, T=4 → 16 rounds) is driven far enough
+    that one ``record_many`` crosses many rounds, and the scalar/batch
+    split is swept across *every* offset of the stream so a crossing
+    lands at each possible position within the batched remainder.
+    """
+
+    M, T = 64, 4
+    STREAM = distinct_items(400, seed=77)
+
+    def _scalar_reference(self):
+        smb = SelfMorphingBitmap(self.M, threshold=self.T, seed=5)
+        for value in self.STREAM.tolist():
+            smb.record(value)
+        return smb
+
+    def test_many_crossings_in_one_batch(self):
+        batch = SelfMorphingBitmap(self.M, threshold=self.T, seed=5)
+        batch.record_many(self.STREAM)
+        reference = self._scalar_reference()
+        assert batch.r >= 2  # the single batch really morphed repeatedly
+        assert batch.to_bytes() == reference.to_bytes()
+        assert batch.hash_ops == reference.hash_ops
+        assert batch.bits_accessed == reference.bits_accessed
+
+    def test_crossing_at_every_offset(self):
+        reference = self._scalar_reference()
+        for offset in range(self.STREAM.size + 1):
+            mixed = SelfMorphingBitmap(self.M, threshold=self.T, seed=5)
+            for value in self.STREAM[:offset].tolist():
+                mixed.record(value)
+            mixed.record_many(self.STREAM[offset:])
+            assert mixed.to_bytes() == reference.to_bytes(), offset
+            assert mixed.hash_ops == reference.hash_ops, offset
+
+    def test_batch_split_at_every_offset(self):
+        reference = self._scalar_reference()
+        for offset in range(0, self.STREAM.size + 1, 7):
+            split = SelfMorphingBitmap(self.M, threshold=self.T, seed=5)
+            split.record_many(self.STREAM[:offset])
+            split.record_many(self.STREAM[offset:])
+            assert split.to_bytes() == reference.to_bytes(), offset
 
 
 class TestSerializationContract:

@@ -1,0 +1,239 @@
+"""One-shot performance snapshot of the kernels layer → BENCH_kernels.json.
+
+Runs the recording/query microbenchmarks programmatically — the same
+operations ``benchmarks/bench_substrates.py``, ``bench_kernels.py`` and
+``bench_engine_scaling.py`` time under pytest-benchmark — and writes a
+single machine-readable snapshot at the repo root so the numbers travel
+with the PR (and as a CI artifact).
+
+Sections of the snapshot:
+
+- ``recording`` — per-estimator throughput (Mdps) of the vectorized
+  plane path on a 10^6-item distinct stream, next to the base-class
+  scalar reference loop (timed on a slice; pure Python is ~100× slower)
+  and the resulting speedup. The acceptance criterion of the kernels PR
+  is ``speedup >= 5`` for SMB, MRB and at least one HLL variant.
+- ``query`` — per-estimator query latency after the 10^6-item load.
+- ``scatter`` — both scatter strategies head to head on 10^6 updates.
+- ``plane`` — hash-plane prefetch / gather / partition costs per chunk.
+- ``engine`` — ShardPool ingest throughput vs shard count.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tools/bench_snapshot.py [--out BENCH_kernels.json]
+
+``REPRO_SCALE`` scales the stream sizes down for smoke runs, exactly as
+it does for the experiment harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.runner import (
+    ALL_ESTIMATORS,
+    make_estimator,
+    mdps,
+    repro_scale,
+    time_call,
+    time_recording,
+)
+from repro.engine import ShardPool
+from repro.kernels import (
+    HashPlane,
+    geometric_request,
+    positions_request,
+    scatter_max,
+    uniform_request,
+)
+from repro.kernels import scatter as scatter_module
+from repro.engine.partition import Partitioner
+from repro.streams import distinct_items
+
+MEMORY_BITS = 5_000
+HEADLINE = ("SMB", "MRB", "HLL++")  # the acceptance-criterion trio
+
+
+def _time(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time of ``fn`` in seconds (noise-resistant)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_recording(items: np.ndarray, scalar_items: np.ndarray) -> dict:
+    """Plane path vs scalar reference loop, per estimator."""
+    out = {}
+    for name in ALL_ESTIMATORS:
+        design = max(items.size, 1_000_000)
+        warmup = make_estimator(name, MEMORY_BITS, design, seed=1)
+        batch_seconds = time_recording(
+            make_estimator(name, MEMORY_BITS, design, seed=0),
+            items,
+            warmup=warmup,
+        )
+        scalar = make_estimator(name, MEMORY_BITS, design, seed=0)
+        start = time.perf_counter()
+        scalar._record_batch(scalar_items)
+        scalar_seconds = time.perf_counter() - start
+        batch = mdps(items.size, batch_seconds)
+        reference = mdps(scalar_items.size, scalar_seconds)
+        out[name] = {
+            "batch_mdps": round(batch, 3),
+            "scalar_mdps": round(reference, 3),
+            "speedup": round(batch / reference, 1) if reference else None,
+        }
+    return out
+
+
+def bench_query(items: np.ndarray) -> dict:
+    out = {}
+    for name in ALL_ESTIMATORS:
+        estimator = make_estimator(
+            name, MEMORY_BITS, max(items.size, 1_000_000), seed=0
+        )
+        estimator.record_many(items)
+        out[name] = {"seconds": time_call(estimator.query)}
+    return out
+
+
+def bench_scatter(n: int) -> dict:
+    rng = np.random.default_rng(5)
+    idx = rng.integers(0, 4096, size=n, dtype=np.uint64)
+    values = rng.integers(1, 32, size=n).astype(np.uint8)
+    out = {}
+    saved = scatter_module._FAST_UFUNC_AT
+    try:
+        for label, fast in (("ufunc_at", True), ("reduceat", False)):
+            scatter_module._FAST_UFUNC_AT = fast
+            target = np.zeros(4096, dtype=np.uint8)
+            out[f"max_{label}_ms"] = round(
+                _time(lambda: scatter_max(target, idx, values)) * 1e3, 3
+            )
+    finally:
+        scatter_module._FAST_UFUNC_AT = saved
+    out["selected"] = "ufunc_at" if saved else "reduceat"
+    return out
+
+
+def bench_plane(items: np.ndarray) -> dict:
+    requests = (
+        uniform_request(1),
+        geometric_request(2),
+        positions_request(3, MEMORY_BITS),
+    )
+
+    def prefetch():
+        HashPlane(items).prefetch(requests)
+
+    def split():
+        plane = HashPlane(items)
+        plane.prefetch(requests)
+        Partitioner(8, seed=3).split_plane(plane)
+
+    plane = HashPlane(items)
+    plane.prefetch(requests)
+    array_of = {
+        "uniform": lambda r: plane.uniform(r[1]),
+        "geometric": lambda r: plane.geometric(r[1]),
+        "positions": lambda r: plane.positions(r[1], r[2]),
+    }
+    footprint = 8 + sum(  # the canonical values array, plus each plane
+        array_of[request[0]](request).itemsize
+        for request in plane.materialized()
+    )
+    return {
+        "chunk_items": int(items.size),
+        "prefetch_ms": round(_time(prefetch) * 1e3, 3),
+        "split_8_shards_ms": round(_time(split) * 1e3, 3),
+        "memoized_reread_us": round(_time(lambda: plane.uniform(1)) * 1e6, 3),
+        "footprint_bytes_per_item": footprint,
+    }
+
+
+def bench_engine(items: np.ndarray) -> list[dict]:
+    rows = []
+    for name in ("SMB", "HLL++"):
+        for num_shards in (1, 4, 8):
+            pool = ShardPool.of(
+                name,
+                MEMORY_BITS * num_shards,
+                num_shards,
+                design_cardinality=max(items.size, 1_000_000) * num_shards,
+                seed=0,
+            )
+            warmup = ShardPool.of(
+                name,
+                MEMORY_BITS * num_shards,
+                num_shards,
+                design_cardinality=max(items.size, 1_000_000) * num_shards,
+                seed=1,
+            )
+            seconds = time_recording(pool, items, warmup=warmup)
+            rows.append(
+                {
+                    "estimator": name,
+                    "shards": num_shards,
+                    "pool_mdps": round(mdps(items.size, seconds), 3),
+                }
+            )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_kernels.json"),
+        help="output path (default: BENCH_kernels.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = repro_scale(1.0)
+    stream_items = max(10_000, int(1_000_000 * scale))
+    scalar_items = max(2_000, int(100_000 * scale))
+    items = distinct_items(stream_items, seed=9)
+
+    snapshot = {
+        "generated_by": "tools/bench_snapshot.py",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "stream_items": stream_items,
+        "scalar_reference_items": scalar_items,
+        "recording": bench_recording(items, items[:scalar_items]),
+        "query": bench_query(items),
+        "scatter": bench_scatter(stream_items),
+        "plane": bench_plane(items[: min(stream_items, 262_144)]),
+        "engine": bench_engine(items),
+    }
+
+    criteria = {
+        name: snapshot["recording"][name]["speedup"] for name in HEADLINE
+    }
+    snapshot["criteria"] = {
+        "headline_speedups": criteria,
+        "threshold": 5.0,
+        "pass": all(s is not None and s >= 5.0 for s in criteria.values()),
+    }
+
+    Path(args.out).write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for name, speedup in criteria.items():
+        print(f"  {name:6s} plane path {speedup}x over scalar reference")
+    if not snapshot["criteria"]["pass"]:
+        print("WARNING: headline speedup below the 5x acceptance threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
