@@ -1,0 +1,186 @@
+"""``repro analyze``: run the invariant checkers and report findings.
+
+Usage::
+
+    repro analyze src/repro                  # human-readable report
+    repro analyze src/repro --format json    # machine-readable report
+    repro analyze --list-rules               # every rule + fix hint
+    repro analyze src/repro --checkers purity,dtype
+    repro analyze src/repro --write-baseline tools/analysis_baseline.json
+
+Exit code 0 when no unsuppressed findings remain, 1 otherwise — CI runs
+this as a gating job. The default baseline is
+``tools/analysis_baseline.json`` when it exists next to the analyzed
+tree; the shipped baseline is empty for ``src/repro`` (real findings
+get fixed, not baselined).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.core import (
+    AnalysisResult,
+    all_checkers,
+    all_rules,
+    analyze_paths,
+    write_baseline,
+)
+
+_DEFAULT_BASELINE = "tools/analysis_baseline.json"
+
+
+def _emit(text: str) -> None:
+    """Print without a traceback when the reader (`| head`) hangs up."""
+    try:
+        print(text)
+    except BrokenPipeError:
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+
+
+def _render_human(result: AnalysisResult) -> str:
+    lines = [diag.format() for diag in result.diagnostics]
+    for diag in result.diagnostics:
+        if diag.hint:
+            index = lines.index(diag.format())
+            lines[index] = f"{diag.format()}\n    hint: {diag.hint}"
+    summary = (
+        f"{len(result.diagnostics)} finding(s) in "
+        f"{result.files_scanned} file(s)"
+    )
+    suppressed = result.suppressed_inline + result.suppressed_baseline
+    if suppressed:
+        summary += (
+            f" ({result.suppressed_inline} allowed inline, "
+            f"{result.suppressed_baseline} baselined)"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_json(result: AnalysisResult) -> str:
+    payload = {
+        "findings": [diag.to_json() for diag in result.diagnostics],
+        "files_scanned": result.files_scanned,
+        "suppressed_inline": result.suppressed_inline,
+        "suppressed_baseline": result.suppressed_baseline,
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _render_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}")
+        lines.append(f"    {rule.summary}")
+        lines.append(f"    fix: {rule.hint}")
+    return "\n".join(lines)
+
+
+def analyze_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``analyze`` subcommand; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description=(
+            "Run the AST invariant checkers (purity, determinism, dtype, "
+            "contract, serialization) over Python sources."
+        ),
+        epilog="See docs/dev-tooling.md for rule rationales and suppression.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--checkers",
+        metavar="NAMES",
+        help="comma-separated subset of checkers to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "baseline file of accepted findings "
+            f"(default: {_DEFAULT_BASELINE} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule with its fix hint and exit",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the report to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _emit(_render_rules())
+        return 0
+
+    checkers = None
+    if args.checkers:
+        checkers = [name.strip() for name in args.checkers.split(",") if name.strip()]
+        try:
+            all_checkers(checkers)
+        except KeyError as error:
+            parser.error(str(error))
+
+    baseline: str | None = args.baseline
+    if args.no_baseline:
+        baseline = None
+    elif baseline is None and Path(_DEFAULT_BASELINE).is_file():
+        baseline = _DEFAULT_BASELINE
+
+    try:
+        result = analyze_paths(args.paths, checkers=checkers, baseline=baseline)
+    except FileNotFoundError as error:
+        parser.error(str(error))
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, result.diagnostics)
+        print(
+            f"wrote baseline with {len(result.diagnostics)} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    report = (
+        _render_json(result) if args.format == "json" else _render_human(result)
+    )
+    _emit(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(analyze_main())

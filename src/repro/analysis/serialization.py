@@ -1,0 +1,326 @@
+"""Serialization parity: recorded state must round-trip completely.
+
+The checkpoint layer promises that a restored estimator "continues
+ingesting exactly as the uninterrupted original would". That promise is
+only as good as each class's ``to_bytes``/``from_bytes`` pair covering
+*every* piece of state the recording path can change — a field added to
+``__init__`` and mutated in ``record`` but forgotten in ``to_bytes``
+produces checkpoints that load cleanly and then drift, the worst kind
+of corruption (the CRC in the checkpoint container cannot catch it).
+
+Rule
+----
+
+- ``serialization.missing-field`` — for every class that defines both
+  ``to_bytes`` and ``from_bytes``: each attribute that is (a) bound in
+  ``__init__`` to plain configuration (constants, parameters,
+  arithmetic, builtin conversions) or (b) mutated anywhere in the
+  recording call graph (``record``/``record_many``/``_record_u64``/
+  ``_record_plane``/``_record_batch`` plus same-class helpers they
+  call) must be referenced by the ``to_bytes``/``from_bytes`` pair —
+  directly, or through a same-class method or property they call
+  (e.g. ``KMinValues.to_bytes`` covering ``_heap`` via ``values()``).
+
+What does **not** need to round-trip:
+
+- the instrumentation counters ``hash_ops``/``bits_accessed`` (and the
+  storage behind counter property setters): the contract defines them
+  as session-local;
+- attributes bound in ``__init__`` to factory/derivation calls
+  (``UniformHash(seed)``, ``round_constants(m, T)``, ...) and never
+  mutated while recording: ``from_bytes`` reconstructs them through the
+  constructor.
+
+Mutation detection understands direct stores (``self.x = ...``,
+``self.x += ...``, ``self.x[i] = ...``), mutating method calls
+(``self._bits.set_many(...)``, ``self._members.add(...)``) and the
+in-place kernel/heap helpers that mutate their first argument
+(``scatter_max(self._registers, ...)``, ``heapq.heappush(self._heap,
+...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Checker,
+    ClassInfo,
+    Diagnostic,
+    ProjectModel,
+    Rule,
+    dotted_name,
+    register_checker,
+)
+
+#: Session-local instrumentation the contract excludes from round-trips.
+_COUNTER_NAMES = {"hash_ops", "bits_accessed"}
+
+#: Entry points of the recording call graph.
+_RECORD_ROOTS = (
+    "record",
+    "record_many",
+    "record_plane",
+    "_record_u64",
+    "_record_plane",
+    "_record_batch",
+)
+
+#: Method names that mutate their receiver.
+_MUTATOR_METHODS = {
+    "add",
+    "append",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "or_update",
+    "pop",
+    "remove",
+    "set",
+    "set_many",
+    "update",
+}
+
+#: Free functions that mutate their first argument in place.
+_MUTATOR_FUNCTIONS = {
+    "heappush",
+    "heappushpop",
+    "heapreplace",
+    "scatter_max",
+    "scatter_or",
+}
+
+#: Builtin conversions that keep an ``__init__`` binding "plain config".
+_CONVERTERS = {
+    "abs",
+    "bool",
+    "bytes",
+    "float",
+    "frozenset",
+    "int",
+    "max",
+    "min",
+    "round",
+    "str",
+    "tuple",
+}
+
+
+def _self_attr(node: ast.AST) -> str:
+    """``self.x`` (through any subscripts) → ``"x"``; else ``""``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+def _is_plain_config(value: ast.AST) -> bool:
+    """True when an ``__init__`` binding is configuration, not a factory.
+
+    Constants, parameter names, arithmetic over them and builtin
+    conversions are configuration (must be serialized). Anything that
+    *reads another self attribute* or calls a non-builtin is derived
+    state the constructor rebuilds — ``from_bytes`` reconstructs it by
+    re-running ``__init__`` with the serialized configuration.
+    """
+    if isinstance(value, ast.Attribute):
+        return not _self_attr(value)
+    if isinstance(value, (ast.Constant, ast.Name)):
+        return True
+    if isinstance(value, (ast.BinOp, ast.UnaryOp, ast.BoolOp, ast.Compare)):
+        return all(
+            _is_plain_config(child) for child in ast.iter_child_nodes(value)
+            if isinstance(child, ast.expr)
+        )
+    if isinstance(value, ast.Call):
+        return dotted_name(value.func) in _CONVERTERS and all(
+            _is_plain_config(arg) for arg in value.args
+        )
+    if isinstance(value, (ast.operator, ast.unaryop, ast.boolop, ast.cmpop)):
+        return True
+    return False
+
+
+@register_checker
+class SerializationChecker(Checker):
+    """Every recorded or configured field survives to_bytes/from_bytes."""
+
+    name = "serialization"
+    rules = (
+        Rule(
+            id="serialization.missing-field",
+            summary="state missing from the to_bytes/from_bytes pair",
+            hint=(
+                "serialize the field (or restore it in from_bytes); "
+                "checkpoints silently drift otherwise"
+            ),
+        ),
+    )
+
+    def check_project(self, project: ProjectModel) -> Iterator[Diagnostic]:
+        for info in project.classes:
+            if "to_bytes" in info.methods and "from_bytes" in info.methods:
+                yield from self._check_class(info)
+
+    # ------------------------------------------------------------------
+    # Per-class analysis
+    # ------------------------------------------------------------------
+    def _check_class(self, info: ClassInfo) -> Iterator[Diagnostic]:
+        init_bindings = self._init_bindings(info)
+        mutated = self._mutated_in_recording(info)
+        covered = self._covered_attrs(info)
+        exempt = _COUNTER_NAMES | self._counter_backing_attrs(info)
+
+        required: dict[str, ast.AST] = {}
+        for attr, (node, plain) in init_bindings.items():
+            if attr in exempt:
+                continue
+            if plain or attr in mutated:
+                required.setdefault(attr, node)
+        for attr, node in mutated.items():
+            if attr not in exempt:
+                required.setdefault(attr, node)
+
+        for attr in sorted(required):
+            if attr not in covered:
+                yield self.diagnostic(
+                    info.module,
+                    required[attr],
+                    "serialization.missing-field",
+                    f"{info.name}.{attr} is recorded state but never appears "
+                    "in to_bytes/from_bytes",
+                )
+
+    def _init_bindings(
+        self, info: ClassInfo
+    ) -> dict[str, tuple[ast.AST, bool]]:
+        """``attr → (assign node, is_plain_config)`` from own ``__init__``."""
+        init = info.methods.get("__init__")
+        if init is None:
+            return {}
+        bindings: dict[str, tuple[ast.AST, bool]] = {}
+        for node in ast.walk(init):
+            targets: list[ast.AST] = []
+            value: ast.AST | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = list(node.targets), node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    attr = _self_attr(target)
+                    if attr and value is not None:
+                        bindings.setdefault(
+                            attr, (node, _is_plain_config(value))
+                        )
+        return bindings
+
+    def _recording_methods(self, info: ClassInfo) -> list[ast.FunctionDef]:
+        """Own methods reachable from the recording entry points."""
+        own = info.methods
+        reachable = [name for name in _RECORD_ROOTS if name in own]
+        queue = list(reachable)
+        while queue:
+            method = own[queue.pop()]
+            for node in ast.walk(method):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and node.func.attr in own
+                    and node.func.attr not in reachable
+                ):
+                    reachable.append(node.func.attr)
+                    queue.append(node.func.attr)
+        return [own[name] for name in reachable]
+
+    def _mutated_in_recording(self, info: ClassInfo) -> dict[str, ast.AST]:
+        mutated: dict[str, ast.AST] = {}
+        for method in self._recording_methods(info):
+            for node in ast.walk(method):
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        attr = _self_attr(target)
+                        if attr:
+                            mutated.setdefault(attr, node)
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in _MUTATOR_METHODS
+                    ):
+                        attr = _self_attr(func.value)
+                        if attr:
+                            mutated.setdefault(attr, node)
+                    elif (
+                        dotted_name(func).split(".")[-1] in _MUTATOR_FUNCTIONS
+                        and node.args
+                    ):
+                        attr = _self_attr(node.args[0])
+                        if attr:
+                            mutated.setdefault(attr, node)
+        return mutated
+
+    def _covered_attrs(self, info: ClassInfo) -> set[str]:
+        """Names referenced by to_bytes/from_bytes, expanded through
+        same-class methods and properties they call (one fixpoint)."""
+        mro = info.mro_methods()
+        covered: set[str] = set()
+        queue = ["to_bytes", "from_bytes"]
+        expanded: set[str] = set()
+        while queue:
+            method_name = queue.pop()
+            if method_name in expanded:
+                continue
+            expanded.add(method_name)
+            method = mro.get(method_name)
+            if method is None:
+                continue
+            for node in ast.walk(method):
+                if isinstance(node, ast.Attribute):
+                    covered.add(node.attr)
+                    if node.attr in mro and node.attr not in expanded:
+                        queue.append(node.attr)
+                elif isinstance(node, ast.Name):
+                    covered.add(node.id)
+        return covered
+
+    def _counter_backing_attrs(self, info: ClassInfo) -> set[str]:
+        """Attributes stored by property setters of the exempt counters."""
+        backing: set[str] = set()
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name not in _COUNTER_NAMES:
+                continue
+            is_setter = any(
+                dotted_name(decorator).endswith(".setter")
+                for decorator in node.decorator_list
+            )
+            if not is_setter:
+                continue
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        sub.targets
+                        if isinstance(sub, ast.Assign)
+                        else [sub.target]
+                    )
+                    for target in targets:
+                        attr = _self_attr(target)
+                        if attr:
+                            backing.add(attr)
+        return backing

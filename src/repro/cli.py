@@ -475,12 +475,19 @@ def main(argv: list[str] | None = None) -> int:
         from repro.engine.cli import engine_main
 
         return engine_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        # Static-analysis subcommand (invariant checkers); dispatched
+        # early for the same reason as `engine`.
+        from repro.analysis.cli import analyze_main
+
+        return analyze_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables and figures.",
         epilog="Set REPRO_SCALE (default ~0.01) to scale workload sizes; "
         "REPRO_SCALE=1.0 runs the paper-scale experiments. "
-        "'repro engine --help' documents the sharded ingestion engine.",
+        "'repro engine --help' documents the sharded ingestion engine; "
+        "'repro analyze --help' the static invariant checkers.",
     )
     parser.add_argument(
         "experiment",

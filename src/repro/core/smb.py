@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import math
 import struct
+from typing import Callable
 
 import numpy as np
 
@@ -210,6 +211,9 @@ class SelfMorphingBitmap(CardinalityEstimator):
         expected = 2.0 * need * (self.m / zeros)
         return max(1024, min(BATCH_CHUNK, int(expected)))
 
+    # analysis: allow(contract.plane-mismatch) -- positions deliberately
+    # unrequested: only Step-1 survivors get position-hashed (see
+    # plane_requests docstring); prefetching would hash every arrival.
     def _record_plane(self, plane: HashPlane) -> None:
         size = plane.size
         values = plane.values
@@ -242,6 +246,7 @@ class SelfMorphingBitmap(CardinalityEstimator):
                 return self._geometric_hash.value_array(values[lo:hi])
 
         start = 0
+        # analysis: allow(purity.loop) -- chunk loop, O(size/BATCH_CHUNK)
         while start < size:
             chunk_start, chunk_end = start, min(size, start + BATCH_CHUNK)
             levels = None
@@ -253,6 +258,8 @@ class SelfMorphingBitmap(CardinalityEstimator):
             else:
                 levels = levels_of(chunk_start, chunk_end)
                 sampled = chunk_start + np.flatnonzero(levels >= self.r)
+            # analysis: allow(purity.loop) -- advances one *round* per
+            # iteration; crossings are rare (at most m/T per stream)
             while start < chunk_end:
                 if sampled.size == 0:
                     self.hash_ops += chunk_end - start
@@ -274,7 +281,7 @@ class SelfMorphingBitmap(CardinalityEstimator):
 
     def _consume_round(
         self,
-        positions_of,
+        positions_of: Callable[[np.ndarray], np.ndarray],
         sampled: np.ndarray,
         start: int,
         size: int,

@@ -29,6 +29,8 @@ class ExactCounter(CardinalityEstimator):
 
     def _record_plane(self, plane: HashPlane) -> None:
         self.bits_accessed += 64 * plane.size
+        # analysis: allow(purity.scalar-call) -- the exact oracle stores
+        # per-item Python state by definition; dedup first keeps it small
         self._seen.update(np.unique(plane.values).tolist())
 
     def query(self) -> float:

@@ -90,7 +90,7 @@ class FMSketch(CardinalityEstimator):
         registers = plane.positions(self._route_hash.seed, self.t)
         bits = np.minimum(
             plane.geometric(self._geometric_hash.seed), REGISTER_BITS - 1
-        ).astype(np.uint32)
+        ).astype(np.uint32, copy=False)
         scatter_or(self._registers, registers, np.uint32(1) << bits)
 
     # ------------------------------------------------------------------

@@ -130,7 +130,9 @@ class HyperLogLogTailCutPlus(CardinalityEstimator):
         registers = plane.positions(self._route_hash.seed, self.t)
         ranks = (
             np.minimum(
-                plane.geometric(self._geometric_hash.seed).astype(np.int64),
+                plane.geometric(self._geometric_hash.seed).astype(
+                    np.int64, copy=False
+                ),
                 MAX_RANK - 1,
             )
             + 1
@@ -140,11 +142,12 @@ class HyperLogLogTailCutPlus(CardinalityEstimator):
         # clip the rank distribution's entire upper half, whereas the
         # sequential algorithm's base keeps pace with the stream.
         chunk_size = max(4 * self.t, 4096)
+        # analysis: allow(purity.loop) -- chunk-stepping loop, O(size/chunk)
         for start in range(0, plane.size, chunk_size):
             stop = start + chunk_size
             offsets = np.clip(
                 ranks[start:stop] - self.base, 0, OFFSET_MAX
-            ).astype(np.uint8)
+            ).astype(np.uint8, copy=False)
             scatter_max(self._offsets, registers[start:stop], offsets)
             self._normalize()
 

@@ -100,6 +100,8 @@ class KMinValues(CardinalityEstimator):
         # Only the k smallest of the batch can matter.
         if hashes.size > self.k:
             hashes = hashes[: self.k]
+        # analysis: allow(purity) -- bounded by k (the prefilter keeps at
+        # most the k smallest batch hashes), not by stream length
         for hashed in hashes.tolist():
             if hashed in self._members:
                 continue

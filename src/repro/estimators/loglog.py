@@ -87,9 +87,12 @@ class LogLog(CardinalityEstimator):
         self.bits_accessed += REGISTER_BITS * plane.size
         registers = plane.positions(self._route_hash.seed, self.t)
         ranks = np.minimum(
-            plane.geometric(self._geometric_hash.seed).astype(np.uint16) + 1,
+            plane.geometric(self._geometric_hash.seed).astype(
+                np.uint16, copy=False
+            )
+            + 1,
             REGISTER_MAX,
-        ).astype(np.uint8)
+        ).astype(np.uint8, copy=False)
         scatter_max(self._registers, registers, ranks)
 
     # ------------------------------------------------------------------

@@ -122,6 +122,8 @@ class MultiResolutionBitmap(CardinalityEstimator):
         # Route positions to components with one compare-and-gather pass
         # per *occupied* level (k is small; a sort would cost more).
         occupied = np.flatnonzero(np.bincount(levels, minlength=self.k))
+        # analysis: allow(purity) -- one iteration per occupied level
+        # (at most k), each applying a vectorized gather + set_many
         for level in occupied.tolist():
             self._components[level].set_many(positions[levels == level])
 

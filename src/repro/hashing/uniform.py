@@ -101,7 +101,7 @@ def canonical_u64_array(items: Iterable[object]) -> np.ndarray:
         if items.dtype == np.uint64:
             return items
         if np.issubdtype(items.dtype, np.integer):
-            return items.astype(np.uint64)
+            return items.astype(np.uint64, copy=False)
         raise TypeError(
             f"cannot canonicalize array of dtype {items.dtype}; "
             "expected an integer dtype"

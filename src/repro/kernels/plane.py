@@ -137,6 +137,8 @@ class HashPlane:
         Pools call this before :meth:`take` so the per-shard sub-planes
         are pure gathers — the shards themselves never hash.
         """
+        # analysis: allow(purity.loop) -- iterates the request list (a
+        # handful of descriptors), never the chunk values
         for request in requests:
             kind = request[0]
             if kind == "uniform":
@@ -160,10 +162,13 @@ class HashPlane:
         copies, so it can cross a thread boundary.
         """
         child = HashPlane(self.values[indices])
+        # analysis: allow(purity.loop) -- per memoized array, gathers vectorized
         for seed, array in self._uniform.items():
             child._uniform[seed] = array[indices]
+        # analysis: allow(purity.loop) -- per memoized array, gathers vectorized
         for seed, array in self._geometric.items():
             child._geometric[seed] = array[indices]
+        # analysis: allow(purity.loop) -- per memoized array, gathers vectorized
         for key, array in self._positions.items():
             child._positions[key] = array[indices]
         return child

@@ -33,7 +33,9 @@ import numpy as np
 _FAST_UFUNC_AT = np.lib.NumpyVersion(np.__version__) >= "1.25.0"
 
 
-def _grouped(indices: np.ndarray, values: np.ndarray):
+def _grouped(
+    indices: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Stable-sort ``(indices, values)`` and locate the group starts.
 
     Returns ``(sorted_indices_at_starts, group_starts, sorted_values)``

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Run the repro invariant checkers from a checkout (CI entry point).
+
+Thin wrapper around ``repro analyze`` that works without installing the
+package: it puts ``src/`` on ``sys.path``, anchors the default paths and
+baseline at the repository root, and forwards all arguments::
+
+    python tools/analyze.py                       # analyze src/repro
+    python tools/analyze.py --format json --output analysis.json
+    python tools/analyze.py tests/some_file.py --no-baseline
+
+Exit code 0 when the tree is clean, 1 when findings remain (gating).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+    os.chdir(_REPO_ROOT)
+    from repro.analysis.cli import analyze_main
+
+    return analyze_main(sys.argv[1:] if argv is None else argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

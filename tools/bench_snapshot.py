@@ -61,6 +61,117 @@ MEMORY_BITS = 5_000
 HEADLINE = ("SMB", "MRB", "HLL++")  # the acceptance-criterion trio
 
 
+# ----------------------------------------------------------------------
+# Snapshot schema
+# ----------------------------------------------------------------------
+# BENCH_kernels.json is consumed by humans diffing PRs and by the CI
+# artifact pipeline; a malformed snapshot (missing section, NaN timing,
+# negative throughput) should fail the writer loudly, not skew a later
+# comparison silently. The schema language is deliberately tiny:
+#
+#   str / bool                 exact type
+#   "number" / "count"         finite float-or-int; count also >= 0
+#   "speedup"                  number or null (scalar reference may be 0)
+#   {"__keys__": subschema}    dict with arbitrary keys, uniform values
+#   {fixed: subschema, ...}    dict with exactly these required keys
+#   [subschema]                non-empty list, uniform element schema
+#   ("a", "b")                 string enum
+
+_RECORDING_ROW = {
+    "batch_mdps": "count",
+    "scalar_mdps": "count",
+    "speedup": "speedup",
+}
+
+SNAPSHOT_SCHEMA = {
+    "generated_by": str,
+    "python": str,
+    "numpy": str,
+    "stream_items": "count",
+    "scalar_reference_items": "count",
+    "recording": {"__keys__": _RECORDING_ROW},
+    "query": {"__keys__": {"seconds": "count"}},
+    "scatter": {
+        "max_ufunc_at_ms": "count",
+        "max_reduceat_ms": "count",
+        "selected": ("ufunc_at", "reduceat"),
+    },
+    "plane": {
+        "chunk_items": "count",
+        "prefetch_ms": "count",
+        "split_8_shards_ms": "count",
+        "memoized_reread_us": "count",
+        "footprint_bytes_per_item": "count",
+    },
+    "engine": [
+        {"estimator": str, "shards": "count", "pool_mdps": "count"}
+    ],
+    "criteria": {
+        "headline_speedups": {"__keys__": "speedup"},
+        "threshold": "number",
+        "pass": bool,
+    },
+}
+
+
+def _check(value, schema, path: str, errors: list[str]) -> None:
+    import math
+
+    def fail(expected: str) -> None:
+        errors.append(f"{path}: expected {expected}, got {value!r}")
+
+    if schema is str or schema is bool:
+        if not isinstance(value, schema) or (
+            schema is str and not value.strip()
+        ):
+            fail(schema.__name__)
+    elif schema in ("number", "count", "speedup"):
+        if schema == "speedup" and value is None:
+            return
+        if (
+            isinstance(value, bool)
+            or not isinstance(value, (int, float))
+            or not math.isfinite(value)
+        ):
+            fail("a finite number")
+        elif schema == "count" and value < 0:
+            fail("a non-negative number")
+    elif isinstance(schema, tuple):
+        if value not in schema:
+            fail(f"one of {schema}")
+    elif isinstance(schema, list):
+        if not isinstance(value, list) or not value:
+            fail("a non-empty list")
+            return
+        for i, element in enumerate(value):
+            _check(element, schema[0], f"{path}[{i}]", errors)
+    elif isinstance(schema, dict):
+        if not isinstance(value, dict):
+            fail("an object")
+            return
+        if "__keys__" in schema:
+            if not value:
+                fail("a non-empty object")
+            for key, element in value.items():
+                _check(element, schema["__keys__"], f"{path}.{key}", errors)
+            return
+        for key in schema.keys() - value.keys():
+            errors.append(f"{path}: missing required key {key!r}")
+        for key in value.keys() - schema.keys():
+            errors.append(f"{path}: unexpected key {key!r}")
+        for key in schema.keys() & value.keys():
+            _check(value[key], schema[key], f"{path}.{key}", errors)
+    else:  # pragma: no cover - schema author error
+        raise TypeError(f"bad schema node at {path}: {schema!r}")
+
+
+def validate_snapshot(snapshot: object) -> list[str]:
+    """Validate a snapshot dict; returns a list of problems (empty = ok)."""
+    errors: list[str] = []
+    _check(snapshot, SNAPSHOT_SCHEMA, "snapshot", errors)
+    return errors
+
+
 def _time(fn, repeats: int = 3) -> float:
     """Best-of-N wall time of ``fn`` in seconds (noise-resistant)."""
     best = float("inf")
@@ -197,7 +308,19 @@ def main(argv: list[str] | None = None) -> int:
         default=str(Path(__file__).resolve().parent.parent / "BENCH_kernels.json"),
         help="output path (default: BENCH_kernels.json at the repo root)",
     )
+    parser.add_argument(
+        "--check",
+        metavar="FILE",
+        help="validate an existing snapshot against the schema and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.check is not None:
+        problems = validate_snapshot(json.loads(Path(args.check).read_text()))
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        print(f"{args.check}: {'INVALID' if problems else 'ok'}")
+        return 1 if problems else 0
 
     scale = repro_scale(1.0)
     stream_items = max(10_000, int(1_000_000 * scale))
@@ -225,6 +348,13 @@ def main(argv: list[str] | None = None) -> int:
         "threshold": 5.0,
         "pass": all(s is not None and s >= 5.0 for s in criteria.values()),
     }
+
+    problems = validate_snapshot(snapshot)
+    if problems:
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        print("refusing to write a snapshot that fails its own schema")
+        return 1
 
     Path(args.out).write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {args.out}")
