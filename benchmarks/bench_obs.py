@@ -1,0 +1,70 @@
+"""Observability overhead microbenchmarks (``repro.obs``).
+
+Times SMB batch recording with metrics disabled (the default
+``NullRegistry``) against the same workload with a live registry and an
+attached ``SMBObserver`` sink, plus the instrumented ingest pipeline.
+The strict 2%/5% overhead criteria are pinned by ``BENCH_obs.json``
+(written by ``tools/bench_snapshot.py --obs-out``); these benchmarks
+exist so pytest-benchmark runs surface any drift side by side.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.smb import SelfMorphingBitmap
+from repro.engine import IngestPipeline, ShardPool
+from repro.obs import MetricsRegistry, SMBObserver, set_registry
+from repro.streams import distinct_items
+
+ITEMS = distinct_items(200_000, seed=9)
+
+
+def _smb() -> SelfMorphingBitmap:
+    return SelfMorphingBitmap(
+        memory_bits=5_000, design_cardinality=1_000_000, seed=0
+    )
+
+
+@pytest.fixture()
+def live_registry():
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+@pytest.mark.benchmark(group="obs-recording")
+def test_smb_recording_metrics_disabled(benchmark):
+    benchmark(lambda: _smb().record_many(ITEMS))
+
+
+@pytest.mark.benchmark(group="obs-recording")
+def test_smb_recording_metrics_enabled(benchmark, live_registry):
+    def run():
+        smb = _smb()
+        smb.attach_metrics(SMBObserver(live_registry))
+        smb.record_many(ITEMS)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="obs-pipeline")
+def test_pipeline_metrics_disabled(benchmark):
+    def run():
+        pool = ShardPool.of("SMB", 20_000, 4, seed=0)
+        with IngestPipeline(pool, chunk_size=16_384) as pipe:
+            pipe.submit(ITEMS)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="obs-pipeline")
+def test_pipeline_metrics_enabled(benchmark, live_registry):
+    def run():
+        pool = ShardPool.of("SMB", 20_000, 4, seed=0)
+        with IngestPipeline(pool, chunk_size=16_384) as pipe:
+            pipe.submit(ITEMS)
+
+    benchmark(run)

@@ -25,6 +25,12 @@ Rules
 - ``determinism.unseeded-rng`` — ``np.random.default_rng()`` called
   with no argument (or a literal ``None``) seeds from OS entropy;
   the seed must arrive as an explicit parameter.
+- ``determinism.clock-into-metric`` — monotonic clock readings
+  (``perf_counter``/``monotonic``/``process_time``) may flow into
+  histogram ``.observe(...)`` calls *only*. Feeding a duration into a
+  counter/gauge (``.inc``/``.dec``/``.set``/``.add``) would make the
+  counting metrics of a seeded run nondeterministic, breaking snapshot
+  comparisons; ``repro.obs`` keeps all timing confined to histograms.
 """
 
 from __future__ import annotations
@@ -50,6 +56,23 @@ _WALLCLOCK = {
     "datetime.today",
     "date.today",
 }
+
+#: Monotonic clock functions: allowed for durations, but their readings
+#: may only ever land in histogram ``.observe`` calls.
+_MONOTONIC_CLOCKS = {
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "thread_time",
+    "thread_time_ns",
+}
+
+#: Metric mutators that must stay deterministic (``.observe`` is the
+#: one sanctioned sink for clock-derived values).
+_COUNTING_MUTATORS = {"inc", "dec", "set", "add"}
 
 #: Members of ``np.random`` that belong to the explicit Generator API.
 _GENERATOR_API = {
@@ -96,6 +119,14 @@ class DeterminismChecker(Checker):
             summary="default_rng() seeded from OS entropy",
             hint="accept a seed parameter and pass it to default_rng(seed)",
         ),
+        Rule(
+            id="determinism.clock-into-metric",
+            summary="clock reading fed into a counter/gauge",
+            hint=(
+                "durations belong in histograms: route clock-derived "
+                "values through .observe(), never .inc/.dec/.set/.add"
+            ),
+        ),
     )
 
     def check_module(
@@ -107,6 +138,8 @@ class DeterminismChecker(Checker):
                 yield from self._check_reference(module, node, random_aliases)
             if isinstance(node, ast.Call):
                 yield from self._check_call(module, node)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_clock_into_metric(module, node)
 
     # ------------------------------------------------------------------
     # Import tracking
@@ -169,6 +202,70 @@ class DeterminismChecker(Checker):
                         "determinism.legacy-np-random",
                         f"{name} uses the legacy global-state numpy RNG",
                     )
+
+    # ------------------------------------------------------------------
+    # Clock-taint tracking (determinism.clock-into-metric)
+    # ------------------------------------------------------------------
+    def _check_clock_into_metric(
+        self,
+        module: ModuleInfo,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Diagnostic]:
+        """Flag counter/gauge mutators consuming clock-derived values.
+
+        Per-function taint over-approximation: any name ever assigned
+        from an expression containing a monotonic clock call (or an
+        already-tainted name) is tainted for the whole function body;
+        passing a tainted expression to ``.inc``/``.dec``/``.set``/
+        ``.add`` is flagged. ``.observe`` is the sanctioned sink.
+        """
+        tainted: set[str] = set()
+        # Iterate to a fixed point so chains (`b = a - t0` after
+        # `a = perf_counter()`) taint regardless of walk order.
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(function):
+                if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    continue
+                if node.value is None or not self._clock_tainted(node.value, tainted):
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id not in tainted:
+                        tainted.add(target.id)
+                        changed = True
+        for node in ast.walk(function):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _COUNTING_MUTATORS
+            ):
+                continue
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            if any(self._clock_tainted(arg, tainted) for arg in arguments):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "determinism.clock-into-metric",
+                    f"clock-derived value passed to .{node.func.attr}() in "
+                    f"{function.name}(); only .observe() may consume "
+                    "durations",
+                )
+
+    def _clock_tainted(self, expression: ast.AST, tainted: set[str]) -> bool:
+        """True if the expression reads a monotonic clock or a tainted name."""
+        for node in ast.walk(expression):
+            if isinstance(node, ast.Name) and node.id in tainted:
+                return True
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name and name.split(".")[-1] in _MONOTONIC_CLOCKS:
+                    return True
+        return False
 
     def _check_call(
         self, module: ModuleInfo, node: ast.Call

@@ -24,6 +24,12 @@ Rules
 - ``purity.item-call`` — no ``.item()`` extraction in hot scope; a
   device/array scalar crossing into Python is the classic start of a
   per-item path.
+- ``purity.metric-in-loop`` — no metric instrument calls
+  (``.inc``/``.dec``/``.observe``, or ``.set``/``.update``/``.labels``
+  on a metric-ish receiver) inside a hot-scope loop. The
+  ``repro.obs`` overhead policy allows instrumentation per chunk or
+  per batch only; a metric touched under a loop in a plane path is on
+  its way to per-item cost.
 
 Hot scope is every function named ``_record_plane`` (including nested
 helpers) and every function defined in a ``repro/kernels`` module. The
@@ -43,11 +49,25 @@ from repro.analysis.core import (
     ModuleInfo,
     ProjectModel,
     Rule,
+    dotted_name,
     register_checker,
 )
 
 _HOT_FUNCTION = "_record_plane"
 _KERNEL_MARKER = "repro/kernels/"
+
+#: Unambiguous metric-instrument methods (repro.obs vocabulary).
+_METRIC_CALLS = frozenset({"inc", "dec", "observe"})
+#: Methods that are metric calls only on a metric-ish receiver
+#: (``.set``/``.update`` are too common to flag unconditionally).
+_METRIC_RECEIVER_CALLS = frozenset({"set", "update", "labels"})
+_METRIC_TOKENS = ("metric", "gauge", "counter", "histogram", "obs", "sink")
+
+
+def _metric_receiver(func: ast.Attribute) -> bool:
+    """True when the attribute's receiver name smells like an instrument."""
+    receiver = dotted_name(func.value).lower()
+    return any(token in receiver for token in _METRIC_TOKENS)
 
 
 def _is_kernel_module(module: ModuleInfo) -> bool:
@@ -105,6 +125,14 @@ class PurityChecker(Checker):
             id="purity.item-call",
             summary=".item() extraction in a hot plane path",
             hint="use array indexing/reductions instead of .item()",
+        ),
+        Rule(
+            id="purity.metric-in-loop",
+            summary="metric instrument call inside a hot-path loop",
+            hint=(
+                "instrument per chunk/batch, outside the loop; the "
+                "repro.obs overhead policy forbids per-item metric work"
+            ),
         ),
     )
 
@@ -165,4 +193,18 @@ class PurityChecker(Checker):
                             node,
                             "purity.scalar-call",
                             f".tolist() materialization in hot path {where}",
+                        )
+                    elif in_loop and (
+                        func.attr in _METRIC_CALLS
+                        or (
+                            func.attr in _METRIC_RECEIVER_CALLS
+                            and _metric_receiver(func)
+                        )
+                    ):
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            "purity.metric-in-loop",
+                            f".{func.attr}() metric call inside a loop in "
+                            f"hot path {where}",
                         )

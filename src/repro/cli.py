@@ -8,6 +8,7 @@ Usage::
     python -m repro all --json results.json
     REPRO_SCALE=1.0 python -m repro table4    # paper-scale workloads
     python -m repro engine --shards 8         # sharded ingestion engine
+    python -m repro stats metrics.json        # render a metrics snapshot
 
 Each experiment produces one or more *blocks* — a title plus headers
 and rows — printed as aligned text and optionally dumped as JSON. See
@@ -481,13 +482,20 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import analyze_main
 
         return analyze_main(argv[1:])
+    if argv and argv[0] == "stats":
+        # Metrics-snapshot viewer (repro.obs); dispatched early for the
+        # same reason as `engine`.
+        from repro.obs.cli import stats_main
+
+        return stats_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables and figures.",
         epilog="Set REPRO_SCALE (default ~0.01) to scale workload sizes; "
         "REPRO_SCALE=1.0 runs the paper-scale experiments. "
         "'repro engine --help' documents the sharded ingestion engine; "
-        "'repro analyze --help' the static invariant checkers.",
+        "'repro analyze --help' the static invariant checkers; "
+        "'repro stats --help' the metrics-snapshot viewer.",
     )
     parser.add_argument(
         "experiment",

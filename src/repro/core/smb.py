@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import math
 import struct
-from typing import Callable
+from typing import Callable, Optional, Protocol
 
 import numpy as np
 
@@ -84,6 +84,20 @@ def round_constants(memory_bits: int, threshold: int) -> np.ndarray:
     return s
 
 
+class SMBMetricsSink(Protocol):
+    """Observer protocol for SMB's adaptivity signals.
+
+    Implemented by :class:`repro.obs.instrument.SMBObserver`; the core
+    layer only knows this structural interface, so it stays free of any
+    observability import. An attached sink is called once per recorded
+    plane (per chunk on the batch path) — never per item.
+    """
+
+    def update(self, smb: "SelfMorphingBitmap") -> None:
+        """Refresh the sink from the estimator's current counters."""
+        ...
+
+
 class SelfMorphingBitmap(CardinalityEstimator):
     """Self-morphing bitmap estimator (see module docstring).
 
@@ -102,6 +116,11 @@ class SelfMorphingBitmap(CardinalityEstimator):
     """
 
     name = "SMB"
+
+    #: Optional metrics observer (see :class:`SMBMetricsSink`). A class
+    #: attribute — not serialized state, not part of ``__init__`` — so
+    #: the default costs one attribute read per recorded plane.
+    _obs_sink: Optional[SMBMetricsSink] = None
 
     def __init__(
         self,
@@ -151,6 +170,17 @@ class SelfMorphingBitmap(CardinalityEstimator):
         return self.m - self.r * self.T
 
     @property
+    def fill_ratio(self) -> float:
+        """Fill ratio v / m_r of the current logical bitmap.
+
+        One of the paper's adaptivity signals: the morph fires when it
+        would reach T / m_r. Reported as 1.0 once the final (possibly
+        partial) round has no logical bits left.
+        """
+        m_r = self.logical_bits
+        return self.v / m_r if m_r > 0 else 1.0
+
+    @property
     def round_prefix(self) -> np.ndarray:
         """The precomputed S array (read-only)."""
         view = self._s.view()
@@ -167,6 +197,19 @@ class SelfMorphingBitmap(CardinalityEstimator):
         saturation there means ``v`` has consumed all of them.
         """
         return self.r * self.T + self.v >= self.m
+
+    def attach_metrics(self, sink: Optional[SMBMetricsSink]) -> None:
+        """Attach (or, with ``None``, detach) a metrics sink.
+
+        The sink's ``update`` runs immediately (establishing the sink's
+        baseline round, so morph deltas start from the current state)
+        and then once per recorded plane on the batch path — enough to
+        track rounds, fill ratio and morphs without per-item work. Not
+        serialized: a restored estimator starts with no sink.
+        """
+        self._obs_sink = sink
+        if sink is not None:
+            sink.update(self)
 
     # ------------------------------------------------------------------
     # Recording (Algorithm 1)
@@ -278,6 +321,9 @@ class SelfMorphingBitmap(CardinalityEstimator):
                     levels = levels_of(chunk_start, chunk_end)
                 tail = sampled[np.searchsorted(sampled, start):]
                 sampled = tail[levels[tail - chunk_start] >= self.r]
+        sink = self._obs_sink
+        if sink is not None:
+            sink.update(self)
 
     def _consume_round(
         self,

@@ -6,12 +6,25 @@ a small versioned container::
     magic "RPCK" | u16 version | u8 class-name length | class name
     | u32 CRC-32 of payload | u64 payload length | payload
 
-and are written **atomically**: the bytes go to a temporary file in the
-target directory, are flushed and fsynced, and the file is then renamed
-over the destination with ``os.replace``. A crash mid-checkpoint leaves
-the previous checkpoint intact; a torn or corrupted file is rejected at
-load time by the length and CRC checks rather than deserialized into a
-silently-wrong estimator.
+and are written **atomically and durably**: the bytes go to a temporary
+file in the target directory, are flushed and fsynced, the file is then
+renamed over the destination with ``os.replace``, and finally the
+containing directory is fsynced so the rename itself survives a crash
+(pass ``sync_directory=False`` to skip that last step in tests). A
+crash mid-checkpoint leaves the previous checkpoint intact.
+
+Validation at load time is **strict**: a torn, corrupted, or padded
+file is rejected rather than deserialized into a silently-wrong
+estimator. Beyond the magic/version/CRC checks, the container enforces
+exact framing — the class-name slice must be complete, and the file
+must end exactly at ``offset + payload_length`` (trailing bytes after
+the payload, e.g. from a concatenated or overwritten-in-place file,
+raise ``ValueError`` even though the CRC over the payload prefix would
+pass).
+
+When observability is enabled (:mod:`repro.obs`), saves and loads
+record byte counters and duration histograms
+(``repro_checkpoint_{save,load}_{bytes_total,seconds}``).
 
 :func:`save` / :func:`load` work for any serializable estimator class in
 :func:`~repro.engine.shards.estimator_registry` (plus
@@ -26,10 +39,12 @@ from __future__ import annotations
 import os
 import struct
 import tempfile
+import time
 import zlib
 
 from repro.estimators.base import CardinalityEstimator
 from repro.engine.shards import ShardPool, estimator_registry
+from repro.obs.metrics import get_registry
 
 _HEADER = struct.Struct("<4sHB")  # magic, version, class-name length
 _TRAILER = struct.Struct("<IQ")  # crc32, payload length
@@ -44,12 +59,42 @@ def _registry() -> dict[str, type]:
     return registry
 
 
-def save(estimator: CardinalityEstimator, path: str | os.PathLike) -> int:
+def _fsync_directory(directory: str) -> None:
+    """Fsync a directory so a rename into it is crash-durable.
+
+    Best-effort and guarded: platforms without ``O_DIRECTORY`` (or
+    whose filesystems refuse to open/fsync directories, e.g. Windows)
+    are silently skipped — the rename is still atomic there, just not
+    guaranteed durable across power loss.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        descriptor = os.open(directory, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)
+
+
+def save(
+    estimator: CardinalityEstimator,
+    path: str | os.PathLike,
+    sync_directory: bool = True,
+) -> int:
     """Atomically write an estimator snapshot; returns bytes written.
 
     The estimator must support ``to_bytes`` and be restorable through
-    :func:`load` (i.e. its class must appear in the registry).
+    :func:`load` (i.e. its class must appear in the registry). After
+    the temp file is fsynced and renamed into place, the containing
+    directory is fsynced as well so the rename survives a crash; pass
+    ``sync_directory=False`` to skip that (tests, throwaway dirs).
     """
+    obs = get_registry()
+    began = time.perf_counter() if obs.enabled else 0.0
     class_name = type(estimator).__name__
     if class_name not in _registry():
         raise ValueError(
@@ -83,6 +128,17 @@ def save(estimator: CardinalityEstimator, path: str | os.PathLike) -> int:
         except OSError:
             pass
         raise
+    if sync_directory:
+        _fsync_directory(directory)
+    if obs.enabled:
+        obs.counter(
+            "repro_checkpoint_save_bytes_total",
+            "Checkpoint bytes written by save()",
+        ).inc(len(blob))
+        obs.histogram(
+            "repro_checkpoint_save_seconds",
+            "Wall time of one checkpoint save()",
+        ).observe(time.perf_counter() - began)
     return len(blob)
 
 
@@ -90,9 +146,12 @@ def load(path: str | os.PathLike) -> CardinalityEstimator:
     """Load, validate and restore a checkpoint written by :func:`save`.
 
     Raises ``ValueError`` for anything that is not a complete, intact
-    checkpoint: wrong magic, unknown version or class, truncation, or a
-    payload CRC mismatch.
+    checkpoint: wrong magic, unknown version or class, truncation, a
+    payload CRC mismatch, or trailing bytes after the payload (the file
+    must end exactly where the declared payload does).
     """
+    obs = get_registry()
+    began = time.perf_counter() if obs.enabled else 0.0
     with open(os.fspath(path), "rb") as handle:
         data = handle.read()
     if len(data) < _HEADER.size + _TRAILER.size:
@@ -103,19 +162,36 @@ def load(path: str | os.PathLike) -> CardinalityEstimator:
     if version != _VERSION:
         raise ValueError(f"unsupported checkpoint version {version}")
     offset = _HEADER.size
-    class_name = data[offset:offset + name_length].decode("ascii")
+    name_bytes = data[offset:offset + name_length]
+    if len(name_bytes) != name_length:
+        raise ValueError("corrupt checkpoint: truncated class name")
+    class_name = name_bytes.decode("ascii")
     offset += name_length
     try:
         crc, payload_length = _TRAILER.unpack_from(data, offset)
     except struct.error as error:
         raise ValueError("corrupt checkpoint: truncated header") from error
     offset += _TRAILER.size
-    payload = data[offset:offset + payload_length]
-    if len(payload) != payload_length:
-        raise ValueError("corrupt checkpoint: truncated payload")
+    if len(data) != offset + payload_length:
+        # Strict framing: reject truncation AND trailing garbage — a
+        # concatenated or overwritten-in-place file would pass the CRC
+        # over the payload prefix.
+        kind = "truncated" if len(data) < offset + payload_length else "trailing bytes after"
+        raise ValueError(f"corrupt checkpoint: {kind} payload")
+    payload = data[offset:]
     if zlib.crc32(payload) != crc:
         raise ValueError("corrupt checkpoint: payload CRC mismatch")
     cls = _registry().get(class_name)
     if cls is None:
         raise ValueError(f"unknown checkpoint class {class_name!r}")
-    return cls.from_bytes(payload)
+    estimator = cls.from_bytes(payload)
+    if obs.enabled:
+        obs.counter(
+            "repro_checkpoint_load_bytes_total",
+            "Checkpoint bytes read by load()",
+        ).inc(len(data))
+        obs.histogram(
+            "repro_checkpoint_load_seconds",
+            "Wall time of one checkpoint load()",
+        ).observe(time.perf_counter() - began)
+    return estimator

@@ -8,6 +8,14 @@ estimation accuracy, and optionally checkpoints/restores the pool::
     repro engine --estimator SMB --shards 4 --items 1000000
     repro engine --shards 8 --checkpoint pool.ckpt
     repro engine --restore pool.ckpt --items 500000
+    repro engine --metrics-out metrics.json --metrics-interval 5
+
+``--metrics-out`` enables the :mod:`repro.obs` registry for the run and
+writes a JSON metrics snapshot (pipeline counters and latencies,
+per-shard SMB adaptivity signals, checkpoint timings) to the given
+path; with ``--metrics-interval`` a background thread refreshes the
+snapshot periodically during long ingests. Render a snapshot with
+``repro stats``.
 
 Dispatched from the main :mod:`repro.cli` entry point (``repro engine
 ...``); the experiment ids remain available alongside it.
@@ -81,18 +89,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore the pool from FILE before ingesting "
         "(overrides --estimator/--shards/--memory-bits)",
     )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="enable repro.obs for this run and write a JSON metrics "
+        "snapshot to FILE (render it with 'repro stats FILE')",
+    )
+    parser.add_argument(
+        "--metrics-interval", type=float, default=0.0, metavar="SECONDS",
+        help="with --metrics-out: refresh the snapshot every SECONDS "
+        "during ingestion (default: final snapshot only)",
+    )
     return parser
 
 
 def engine_main(argv: list[str] | None = None) -> int:
-    """Entry point of ``repro engine``; returns the process exit code."""
-    from repro.bench.reporting import format_table
+    """Entry point of ``repro engine``; returns the process exit code.
 
+    With ``--metrics-out`` the :mod:`repro.obs` registry is enabled for
+    the duration of the run (and restored afterwards, so in-process
+    callers are unaffected).
+    """
     args = build_parser().parse_args(argv)
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
     if args.duplication < 1.0:
         raise SystemExit("--duplication must be >= 1.0")
+    if args.metrics_interval < 0:
+        raise SystemExit("--metrics-interval must be >= 0")
+    if args.metrics_interval and not args.metrics_out:
+        raise SystemExit("--metrics-interval requires --metrics-out")
+
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry, set_registry
+
+        previous_registry = set_registry(MetricsRegistry())
+    else:
+        previous_registry = None
+    try:
+        return _run(args)
+    finally:
+        if previous_registry is not None:
+            from repro.obs import set_registry
+
+            set_registry(previous_registry)
+
+
+def _run(args: "argparse.Namespace") -> int:
+    """Run one engine ingest with parsed arguments (see :func:`engine_main`)."""
+    from repro.bench.reporting import format_table
 
     if args.restore:
         try:
@@ -127,8 +171,24 @@ def engine_main(argv: list[str] | None = None) -> int:
     with IngestPipeline(
         pool, chunk_size=args.chunk, queue_depth=args.queue_depth
     ) as pipeline:
-        pipeline.submit(stream)
-        pipeline.drain()
+        if args.metrics_out and args.metrics_interval > 0:
+            from repro.obs import PeriodicSnapshotter, get_registry
+
+            snapshotter = PeriodicSnapshotter(
+                get_registry(),
+                args.metrics_out,
+                interval=args.metrics_interval,
+                refresh=pipeline.pool_observer.update
+                if pipeline.pool_observer is not None else None,
+            ).start()
+        else:
+            snapshotter = None
+        try:
+            pipeline.submit(stream)
+            pipeline.drain()
+        finally:
+            if snapshotter is not None:
+                snapshotter.stop()
         elapsed = time.perf_counter() - start
         estimate = pool.query()
 
@@ -157,4 +217,26 @@ def engine_main(argv: list[str] | None = None) -> int:
         except OSError as exc:
             raise SystemExit(f"cannot checkpoint to {args.checkpoint}: {exc}")
         print(f"checkpointed pool to {args.checkpoint} ({written} bytes)")
+
+    if args.metrics_out:
+        from repro.obs import get_registry, write_snapshot
+
+        try:
+            write_snapshot(
+                get_registry(),
+                args.metrics_out,
+                run={
+                    "records_submitted": pipeline.records_submitted,
+                    "records_dropped": pipeline.records_dropped,
+                    "distinct_items": int(new_distinct),
+                    "elapsed_seconds": elapsed,
+                    "estimate": estimate,
+                    "shards": pool.num_shards,
+                },
+            )
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot write metrics to {args.metrics_out}: {exc}"
+            )
+        print(f"wrote metrics snapshot to {args.metrics_out}")
     return 0

@@ -30,6 +30,24 @@ error, if any. The pipeline is a context manager::
             pipe.submit(batch)
     print(pool.query())
 
+**Failure accounting.** Once a worker has failed, the remaining workers
+drop every further sub-batch instead of applying it; ``submit`` stops
+enqueueing at the next chunk boundary and raises. The counters stay
+honest through this: ``records_submitted`` counts only records of
+chunks that were actually enqueued, ``records_dropped`` counts records
+the workers discarded (including the partially-applied failing batch,
+whose shard state is suspect), so ``records_submitted -
+records_dropped`` is the number of records fully applied to the pool.
+
+**Observability.** When the process-wide :mod:`repro.obs` registry is
+enabled, the pipeline emits submitted/dropped counters, per-shard queue
+depth gauges, and backpressure-wait / batch-apply latency histograms,
+and attaches per-shard SMB adaptivity gauges via the pool observer
+(exposed as :attr:`IngestPipeline.pool_observer`). All metric work
+happens per chunk or per sub-batch — never per item — and with the
+default :class:`~repro.obs.metrics.NullRegistry` the instrumented
+branches collapse to a single ``is None`` check.
+
 Throughput note: CPython threads interleave on the GIL, but NumPy
 releases it inside the vectorized kernels that dominate the batch path,
 so partitioning and per-shard recording genuinely overlap.
@@ -39,6 +57,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Iterable
 
 import numpy as np
@@ -46,6 +65,7 @@ import numpy as np
 from repro.engine.shards import ShardPool
 from repro.hashing import canonical_u64_array
 from repro.kernels import HashPlane
+from repro.obs.metrics import get_registry
 
 #: Default chunk size of the submit path — same order as SMB's dedup
 #: window (``repro.core.smb.BATCH_CHUNK``), large enough to amortize
@@ -83,11 +103,24 @@ class IngestPipeline:
         self.pool = pool
         self.chunk_size = int(chunk_size)
         self.records_submitted = 0
+        self.records_dropped = 0
+        self._drop_lock = threading.Lock()
         self._queues: list[queue.Queue] = [
             queue.Queue(maxsize=queue_depth) for __ in pool.shards
         ]
         self._errors: list[BaseException] = []
         self._closed = False
+        registry = get_registry()
+        if registry.enabled:
+            from repro.obs.instrument import PipelineMetrics, PoolObserver
+
+            self._obs = PipelineMetrics(registry, pool.num_shards)
+            #: Per-shard estimate/skew gauges (None when obs disabled);
+            #: call ``pool_observer.update()`` at safe points.
+            self.pool_observer = PoolObserver(registry, pool)
+        else:
+            self._obs = None
+            self.pool_observer = None
         self._workers = [
             threading.Thread(
                 target=self._work,
@@ -104,53 +137,107 @@ class IngestPipeline:
     # Worker side
     # ------------------------------------------------------------------
     def _work(self, shard_index: int) -> None:
-        """Drain one shard's queue into its estimator (worker thread)."""
+        """Drain one shard's queue into its estimator (worker thread).
+
+        After any worker has failed, every worker *drops* further
+        sub-batches (counted in :attr:`records_dropped`) instead of
+        applying them — the pool state is already suspect and the
+        submitting thread is about to raise.
+        """
         shard = self.pool.shards[shard_index]
         inbox = self._queues[shard_index]
+        obs = self._obs
         while True:
             batch = inbox.get()
             try:
                 if batch is _STOP:
                     return
-                if not self._errors:
+                if self._errors:
+                    self._count_dropped(batch.size)
+                elif obs is None:
                     shard._record_plane(batch)
+                else:
+                    began = time.perf_counter()
+                    try:
+                        shard._record_plane(batch)
+                    finally:
+                        obs.apply_latency[shard_index].observe(
+                            time.perf_counter() - began
+                        )
+                        obs.queue_depth[shard_index].set(inbox.qsize())
             except BaseException as error:  # pragma: no cover - defensive
                 self._errors.append(error)
+                # The failing batch may be partially applied; its shard
+                # state is suspect, so bill the whole batch as dropped.
+                self._count_dropped(batch.size)
             finally:
                 inbox.task_done()
+
+    def _count_dropped(self, count: int) -> None:
+        with self._drop_lock:
+            self.records_dropped += int(count)
+        if self._obs is not None:
+            self._obs.dropped.inc(count)
+            self._obs.batches_dropped.inc()
 
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
     def submit(self, items: Iterable[object] | np.ndarray) -> int:
-        """Partition a batch and enqueue it; returns the item count.
+        """Partition a batch and enqueue it; returns the enqueued count.
 
         Blocks while any target shard queue is full (backpressure).
         Raises ``RuntimeError`` if the pipeline is closed or a worker
-        has failed.
+        has failed — the failure check runs before *every* chunk, so a
+        mid-stream worker death stops the producer at the next chunk
+        boundary. Counters (:attr:`records_submitted`, the pool's
+        routing hash ops) only ever cover chunks that were actually
+        enqueued.
         """
         if self._closed:
             raise RuntimeError("cannot submit to a closed pipeline")
         self._raise_pending()
         values = canonical_u64_array(items)
-        if self.pool.num_shards > 1:
-            # Same routing-hash accounting as ShardPool._record_plane
-            # (the pipeline partitions directly, bypassing that method).
-            self.pool._route_hash_ops += int(values.size)
         # Hash in the producer, at full chunk width: NumPy releases the
         # GIL inside the vectorized hash kernels, so prefetching here
         # overlaps with the workers applying earlier sub-planes.
         requests = self.pool.plane_requests()
+        obs = self._obs
+        enqueued = 0
         for start in range(0, values.size, self.chunk_size):
+            self._raise_pending()  # fast-fail between chunks
             plane = HashPlane(values[start:start + self.chunk_size])
             plane.prefetch(requests)
+            if self.pool.num_shards > 1:
+                # Same routing-hash accounting as ShardPool._record_plane
+                # (the pipeline partitions directly, bypassing that
+                # method) — billed per enqueued chunk.
+                self.pool._route_hash_ops += plane.size
             for shard_index, part in enumerate(
                 self.pool.partitioner.split_plane(plane)
             ):
-                if part.size:
+                if not part.size:
+                    continue
+                if obs is None:
                     self._queues[shard_index].put(part)
-        self.records_submitted += int(values.size)
-        return int(values.size)
+                else:
+                    self._put_observed(shard_index, part, obs)
+            enqueued += plane.size
+            self.records_submitted += plane.size
+            if obs is not None:
+                obs.submitted.inc(plane.size)
+        return enqueued
+
+    def _put_observed(self, shard_index: int, part, obs) -> None:
+        """Enqueue one sub-batch, timing any backpressure stall."""
+        inbox = self._queues[shard_index]
+        try:
+            inbox.put_nowait(part)
+        except queue.Full:
+            began = time.perf_counter()
+            inbox.put(part)
+            obs.backpressure.observe(time.perf_counter() - began)
+        obs.queue_depth[shard_index].set(inbox.qsize())
 
     def drain(self) -> None:
         """Block until every enqueued sub-batch has been applied.
@@ -161,6 +248,8 @@ class IngestPipeline:
         """
         for inbox in self._queues:
             inbox.join()
+        if self.pool_observer is not None:
+            self.pool_observer.update()
         self._raise_pending()
 
     def estimate(self) -> float:
@@ -179,6 +268,8 @@ class IngestPipeline:
             inbox.put(_STOP)
         for worker in self._workers:
             worker.join()
+        if self.pool_observer is not None:
+            self.pool_observer.update()
         self._raise_pending()
 
     def _raise_pending(self) -> None:
@@ -192,7 +283,8 @@ class IngestPipeline:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        """Exit: close the pipeline (drains unless already failing)."""
+        """Exit: close the pipeline (always drains — on a worker
+        failure the remaining queue entries drain as counted drops)."""
         self.close()
 
     def __repr__(self) -> str:
@@ -200,5 +292,6 @@ class IngestPipeline:
             f"IngestPipeline(shards={self.pool.num_shards}, "
             f"chunk_size={self.chunk_size}, "
             f"submitted={self.records_submitted}, "
+            f"dropped={self.records_dropped}, "
             f"closed={self._closed})"
         )

@@ -302,7 +302,9 @@ class ShardPool(CardinalityEstimator):
 
         Each shard blob fully encodes its own configuration, so no
         factory is needed; shard classes resolve through
-        :func:`estimator_registry`.
+        :func:`estimator_registry`. Framing is strict: a truncated
+        shard header, class name or blob — and any trailing bytes
+        after the last shard — raise ``ValueError``.
         """
         try:
             magic, version, num_shards, seed = _HEADER.unpack_from(data)
@@ -323,7 +325,12 @@ class ShardPool(CardinalityEstimator):
                     "corrupt ShardPool payload: truncated shard header"
                 ) from error
             offset += _SHARD_HEADER.size
-            class_name = data[offset:offset + name_len].decode("ascii")
+            name_bytes = data[offset:offset + name_len]
+            if len(name_bytes) != name_len:
+                raise ValueError(
+                    "corrupt ShardPool payload: truncated shard class name"
+                )
+            class_name = name_bytes.decode("ascii")
             offset += name_len
             blob = data[offset:offset + blob_len]
             if len(blob) != blob_len:
@@ -333,6 +340,10 @@ class ShardPool(CardinalityEstimator):
             if shard_cls is None:
                 raise ValueError(f"unknown shard estimator {class_name!r}")
             shards.append(shard_cls.from_bytes(blob))
+        if offset != len(data):
+            raise ValueError(
+                "corrupt ShardPool payload: trailing bytes after last shard"
+            )
         iterator = iter(shards)
         return cls(lambda __: next(iterator), num_shards, seed=seed)
 

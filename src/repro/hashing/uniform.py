@@ -107,7 +107,10 @@ def canonical_u64_array(items: Iterable[object]) -> np.ndarray:
             "expected an integer dtype"
         )
     if isinstance(items, Sequence) and items and isinstance(items[0], (int, np.integer)):
-        return np.asarray(items, dtype=np.uint64)
+        try:
+            return np.asarray(items, dtype=np.uint64)
+        except (TypeError, ValueError, OverflowError):
+            pass  # mixed types or negatives: take the per-item path
     return np.fromiter(
         (canonical_u64(item) for item in items), dtype=np.uint64
     )

@@ -1,0 +1,57 @@
+"""Observability: metrics substrate, instrumentation and exposition.
+
+``repro.obs`` is a lightweight, dependency-free metrics layer:
+
+- :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` primitives, labeled families, and the
+  process-wide :class:`MetricsRegistry` (a no-op :class:`NullRegistry`
+  by default — instrumentation is zero-cost until
+  :func:`set_registry` enables it);
+- :mod:`repro.obs.instrument` — the metric catalog for the hot layers
+  (pipeline, shard pool, SMB adaptivity signals);
+- :mod:`repro.obs.render` — Prometheus text exposition and JSON
+  snapshots;
+- :mod:`repro.obs.snapshotter` — a periodic snapshot thread for long
+  ingests;
+- :mod:`repro.obs.cli` — the ``repro stats`` subcommand.
+
+See ``docs/observability.md`` for the metric catalog and the overhead
+policy (enabled instrumentation may only do per-chunk work, never
+per-item — statically enforced by ``repro analyze``).
+"""
+
+from repro.obs.instrument import PipelineMetrics, PoolObserver, SMBObserver
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.render import (
+    parse_prometheus,
+    render_prometheus,
+    snapshot,
+    write_snapshot,
+)
+from repro.obs.snapshotter import PeriodicSnapshotter
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "PeriodicSnapshotter",
+    "PipelineMetrics",
+    "PoolObserver",
+    "SMBObserver",
+    "get_registry",
+    "parse_prometheus",
+    "render_prometheus",
+    "set_registry",
+    "snapshot",
+    "write_snapshot",
+]

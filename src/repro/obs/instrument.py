@@ -1,0 +1,169 @@
+"""Observers that wire estimator/engine state into the metrics registry.
+
+The substrate in :mod:`repro.obs.metrics` is generic; this module owns
+the *metric catalog* for the library's hot layers (names, types and
+labels are documented in ``docs/observability.md``):
+
+- :class:`PipelineMetrics` — the ingest pipeline's counters, queue
+  depth gauges and latency histograms;
+- :class:`PoolObserver` — per-shard estimate gauges and the estimate
+  skew of a :class:`~repro.engine.shards.ShardPool`;
+- :class:`SMBObserver` — the paper's own adaptivity signals of one
+  :class:`~repro.core.smb.SelfMorphingBitmap`: round index, fill ratio
+  ``v/(m−rT)``, morph events and saturation. It satisfies the
+  ``SMBMetricsSink`` protocol, so ``smb.attach_metrics(observer)``
+  refreshes the gauges once per recorded plane (per chunk, never per
+  item).
+
+Everything here is only ever constructed when the process-wide registry
+is enabled; with the default :class:`~repro.obs.metrics.NullRegistry`
+none of these objects exist and the instrumented code paths skip all
+metric work.
+"""
+
+from __future__ import annotations
+
+from repro.core.smb import SelfMorphingBitmap
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["PipelineMetrics", "PoolObserver", "SMBObserver"]
+
+#: Bucket bounds for queue/apply latencies (seconds): microseconds for a
+#: sub-plane apply up to whole seconds of backpressure stall.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+class PipelineMetrics:
+    """Instrument bundle used by :class:`~repro.engine.pipeline.IngestPipeline`.
+
+    Resolves every pipeline metric once at construction so the hot path
+    touches plain attributes (``submitted.inc(n)``) instead of registry
+    lookups. Per-shard children are pre-resolved into lists indexed by
+    shard number.
+    """
+
+    def __init__(self, registry: MetricsRegistry, num_shards: int) -> None:
+        self.submitted = registry.counter(
+            "repro_ingest_records_submitted_total",
+            "Records successfully enqueued by IngestPipeline.submit",
+        )
+        self.dropped = registry.counter(
+            "repro_ingest_records_dropped_total",
+            "Records dropped because a shard worker had already failed",
+        )
+        self.batches_dropped = registry.counter(
+            "repro_ingest_batches_dropped_total",
+            "Sub-batches dropped because a shard worker had already failed",
+        )
+        depth = registry.gauge(
+            "repro_ingest_queue_depth",
+            "Sub-batches currently queued per shard",
+            labels=("shard",),
+        )
+        apply_latency = registry.histogram(
+            "repro_ingest_batch_apply_seconds",
+            "Per-shard latency of applying one sub-plane",
+            labels=("shard",),
+            buckets=LATENCY_BUCKETS,
+        )
+        shards = [str(index) for index in range(num_shards)]
+        self.queue_depth = [depth.labels(shard=s) for s in shards]
+        self.apply_latency = [apply_latency.labels(shard=s) for s in shards]
+        self.backpressure = registry.histogram(
+            "repro_ingest_backpressure_wait_seconds",
+            "Time the submit path blocked on a full shard queue",
+            buckets=LATENCY_BUCKETS,
+        )
+
+
+class SMBObserver:
+    """Mirror one SMB's adaptivity signals into gauges and a counter.
+
+    Satisfies the ``SMBMetricsSink`` protocol of
+    :mod:`repro.core.smb`: attach with ``smb.attach_metrics(observer)``
+    and the estimator calls :meth:`update` once per recorded plane.
+    Morph events are derived from the round index advancing between
+    updates, so attaching after a restore does not re-count historical
+    morphs.
+    """
+
+    def __init__(self, registry: MetricsRegistry, shard: str = "0") -> None:
+        labels = ("shard",)
+        self._round = registry.gauge(
+            "repro_smb_round", "Current SMB round index r", labels,
+        ).labels(shard=shard)
+        self._fill = registry.gauge(
+            "repro_smb_fill_ratio",
+            "SMB logical fill ratio v / (m - r*T)", labels,
+        ).labels(shard=shard)
+        self._saturated = registry.gauge(
+            "repro_smb_saturated",
+            "1 once the SMB bitmap is completely full", labels,
+        ).labels(shard=shard)
+        self._morphs = registry.counter(
+            "repro_smb_morphs_total",
+            "SMB morph events observed (round advances)", labels,
+        ).labels(shard=shard)
+        self._last_round: int | None = None
+
+    def update(self, smb: SelfMorphingBitmap) -> None:
+        """Refresh the gauges from the estimator's current counters."""
+        current_round = smb.r
+        if self._last_round is not None and current_round > self._last_round:
+            self._morphs.inc(current_round - self._last_round)
+        self._last_round = current_round
+        self._round.set(current_round)
+        self._fill.set(smb.fill_ratio)
+        self._saturated.set(1.0 if smb.saturated else 0.0)
+
+
+class PoolObserver:
+    """Per-shard estimate gauges and skew for a shard pool.
+
+    On construction, every :class:`~repro.core.smb.SelfMorphingBitmap`
+    shard additionally gets an :class:`SMBObserver` attached (pass
+    ``attach_smb=False`` to opt out), so the paper's adaptivity signals
+    stream out per shard during ingestion. :meth:`update` is on-demand
+    — call it at safe points (after a drain, before a snapshot); shard
+    ``query()`` is cheap but not free, so it is not run per batch.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        pool: object,
+        attach_smb: bool = True,
+    ) -> None:
+        self.pool = pool
+        estimate = registry.gauge(
+            "repro_pool_shard_estimate",
+            "Per-shard cardinality estimate", labels=("shard",),
+        )
+        num_shards = len(pool.shards)  # type: ignore[attr-defined]
+        self._estimates = [
+            estimate.labels(shard=str(index)) for index in range(num_shards)
+        ]
+        self._skew = registry.gauge(
+            "repro_pool_estimate_skew",
+            "max/mean - 1 across per-shard estimates (0 = perfectly even)",
+        )
+        self._smb_sinks: list[tuple[SelfMorphingBitmap, SMBObserver]] = []
+        if attach_smb:
+            for index, shard in enumerate(pool.shards):  # type: ignore[attr-defined]
+                if isinstance(shard, SelfMorphingBitmap):
+                    sink = SMBObserver(registry, shard=str(index))
+                    shard.attach_metrics(sink)
+                    self._smb_sinks.append((shard, sink))
+
+    def update(self) -> None:
+        """Refresh estimate/skew gauges (and any attached SMB gauges)."""
+        estimates = self.pool.shard_estimates()  # type: ignore[attr-defined]
+        for gauge, value in zip(self._estimates, estimates):
+            gauge.set(value)
+        mean = sum(estimates) / len(estimates) if estimates else 0.0
+        self._skew.set(max(estimates) / mean - 1.0 if mean > 0 else 0.0)
+        for shard, sink in self._smb_sinks:
+            sink.update(shard)

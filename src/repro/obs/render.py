@@ -1,0 +1,163 @@
+"""Exposition: Prometheus text rendering and JSON snapshots.
+
+Two interchangeable views of a :class:`~repro.obs.metrics.MetricsRegistry`:
+
+- :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, one ``name{labels} value`` line per
+  sample, histograms expanded into ``_bucket``/``_sum``/``_count``
+  series) for scraping or eyeballing;
+- :func:`snapshot` / :func:`write_snapshot` — a JSON document of the
+  same data (validated by ``tools/bench_snapshot.py --check-metrics``
+  in CI), suitable for diffing runs and machine consumption.
+
+:func:`parse_prometheus` parses the text format back into a
+``sample-name → value`` map; the round-trip (snapshot → text → parse)
+is asserted by ``tests/test_obs.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "parse_prometheus",
+    "render_prometheus",
+    "snapshot",
+    "write_snapshot",
+]
+
+#: Identifies the producer inside JSON snapshots.
+GENERATOR = "repro.obs"
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+    )
+
+
+def _label_suffix(labels: Mapping[str, str]) -> str:
+    """Render ``{k="v",...}`` (empty string when there are no labels)."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _merge_labels(
+    labels: Mapping[str, str], extra: Mapping[str, str]
+) -> dict[str, str]:
+    merged = dict(labels)
+    merged.update(extra)
+    return merged
+
+
+def snapshot(
+    registry: MetricsRegistry,
+    run: Mapping[str, object] | None = None,
+) -> dict[str, object]:
+    """Freeze a registry into a JSON-serializable snapshot document.
+
+    The document carries a ``generated_by`` marker, the full metric
+    dump (see :meth:`~repro.obs.metrics.MetricsRegistry.collect` for
+    the per-family shape) and, optionally, a flat ``run`` section of
+    run-level facts (e.g. the engine CLI's ``records_submitted``).
+    """
+    document: dict[str, object] = {
+        "generated_by": GENERATOR,
+        "metrics": registry.collect(),
+    }
+    if run is not None:
+        document["run"] = dict(run)
+    return document
+
+
+def write_snapshot(
+    registry: MetricsRegistry,
+    path: str | os.PathLike,
+    run: Mapping[str, object] | None = None,
+) -> dict[str, object]:
+    """Write :func:`snapshot` to ``path`` atomically; returns the document.
+
+    The JSON goes to a sibling temp file first and is moved into place
+    with ``os.replace``, so a concurrent reader (or the periodic
+    snapshotter overwriting an earlier tick) never sees a torn file.
+    """
+    document = snapshot(registry, run=run)
+    path = os.fspath(path)
+    temp_path = f"{path}.tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(temp_path, path)
+    return document
+
+
+def render_prometheus(
+    source: MetricsRegistry | Mapping[str, object],
+) -> str:
+    """Render a registry (or a :func:`snapshot` document) as Prometheus text.
+
+    Counters render with the conventional ``_total``-style single line
+    per sample; histograms expand into cumulative ``_bucket{le=...}``
+    series plus ``_sum`` and ``_count``. Quantile summaries (p50 etc.)
+    are a JSON-snapshot convenience and are *not* exposed in the text
+    format — Prometheus derives quantiles from the buckets.
+    """
+    if isinstance(source, MetricsRegistry):
+        metrics = source.collect()
+    else:
+        metrics = source["metrics"]  # type: ignore[index]
+    lines: list[str] = []
+    for family in metrics:
+        name = family["name"]
+        lines.append(f"# HELP {name} {family.get('help', '')}".rstrip())
+        lines.append(f"# TYPE {name} {family['type']}")
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            if family["type"] == "histogram":
+                for bound, count in sample["buckets"]:
+                    suffix = _label_suffix(
+                        _merge_labels(labels, {"le": bound})
+                    )
+                    lines.append(f"{name}_bucket{suffix} {count}")
+                lines.append(
+                    f"{name}_sum{_label_suffix(labels)} {sample['sum']}"
+                )
+                lines.append(
+                    f"{name}_count{_label_suffix(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_suffix(labels)} {sample['value']}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse Prometheus text back into ``'name{labels}' → value``.
+
+    Supports exactly what :func:`render_prometheus` emits (comments,
+    ``name`` / ``name{k="v",...}`` sample lines); used by the snapshot
+    round-trip test and the ``repro stats --format prom`` path's
+    self-check. Label order is preserved from the input line, so a
+    render → parse → compare round-trip is key-stable.
+    """
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, __, value = line.rpartition(" ")
+        if not key:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        samples[key] = float(value)
+    return samples

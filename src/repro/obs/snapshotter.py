@@ -1,0 +1,106 @@
+"""Periodic JSON snapshotting for long-running ingests.
+
+:class:`PeriodicSnapshotter` runs a daemon thread that writes a JSON
+snapshot of a registry to a fixed path every ``interval`` seconds (and
+once more on :meth:`~PeriodicSnapshotter.stop`, so the final state is
+always on disk). Writes are atomic (``os.replace``), so an external
+observer tailing the file never sees a torn document.
+
+The thread paces itself with ``threading.Event.wait`` — a relative,
+monotonic timeout — and reads no wall clock, keeping the snapshot
+content deterministic for seeded runs (timing histograms aside).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Mapping
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.render import write_snapshot
+
+__all__ = ["PeriodicSnapshotter"]
+
+
+class PeriodicSnapshotter:
+    """Write registry snapshots to ``path`` every ``interval`` seconds.
+
+    Parameters
+    ----------
+    registry:
+        The registry to snapshot.
+    path:
+        Destination JSON file, overwritten atomically each tick.
+    interval:
+        Seconds between snapshots (> 0).
+    refresh:
+        Optional callback invoked before each write — e.g.
+        :meth:`~repro.obs.instrument.PoolObserver.update` — so gauges
+        that are only set on demand reflect the moment of the snapshot.
+    run:
+        Optional run-level facts forwarded into every snapshot's
+        ``run`` section.
+
+    Usable as a context manager::
+
+        with PeriodicSnapshotter(registry, "metrics.json", 5.0):
+            ...  # long ingest
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        path: str | os.PathLike,
+        interval: float = 5.0,
+        refresh: Callable[[], None] | None = None,
+        run: Mapping[str, object] | None = None,
+    ) -> None:
+        if not interval > 0:
+            raise ValueError(f"interval must be > 0 seconds, got {interval}")
+        self.registry = registry
+        self.path = os.fspath(path)
+        self.interval = float(interval)
+        self.refresh = refresh
+        self.run = run
+        self.snapshots_written = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "PeriodicSnapshotter":
+        """Start the snapshot thread (idempotent); returns ``self``."""
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="obs-snapshotter", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread and write one final snapshot."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join()
+        self._thread = None
+        self._write()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._write()
+
+    def _write(self) -> None:
+        if self.refresh is not None:
+            self.refresh()
+        write_snapshot(self.registry, self.path, run=self.run)
+        self.snapshots_written += 1
+
+    def __enter__(self) -> "PeriodicSnapshotter":
+        """Enter: start the snapshot thread."""
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Exit: stop the thread and flush a final snapshot."""
+        self.stop()

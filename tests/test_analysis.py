@@ -128,6 +128,52 @@ class TestPurity:
         )
         assert result.ok
 
+    def test_metric_call_in_hot_loop_flagged(self, tmp_path):
+        result = run_on(
+            tmp_path,
+            """\
+            def _record_plane(plane):
+                for chunk in plane.chunks:
+                    counter.inc(chunk.size)
+                    latency.observe(chunk.cost)
+                    depth_gauge.set(chunk.depth)
+            """,
+        )
+        assert findings(result, "purity.metric-in-loop") == [
+            (3, "purity.metric-in-loop"),
+            (4, "purity.metric-in-loop"),
+            (5, "purity.metric-in-loop"),
+        ]
+
+    def test_metric_receiver_calls_need_metric_smell(self, tmp_path):
+        # .set()/.update() on non-metric receivers are ordinary calls;
+        # only metric-ish names (gauge/sink/...) are flagged in loops.
+        result = run_on(
+            tmp_path,
+            """\
+            def _record_plane(plane):
+                for chunk in plane.chunks:
+                    seen.update(chunk.keys)
+                    self._obs_sink.update(chunk)
+            """,
+        )
+        assert findings(result, "purity.metric-in-loop") == [
+            (4, "purity.metric-in-loop")
+        ]
+
+    def test_metric_call_per_chunk_outside_loop_clean(self, tmp_path):
+        result = run_on(
+            tmp_path,
+            """\
+            def _record_plane(plane):
+                plane.apply()
+                sink = plane.sink
+                if sink is not None:
+                    sink.update(plane)
+            """,
+        )
+        assert result.ok
+
 
 # ----------------------------------------------------------------------
 # determinism
@@ -212,6 +258,66 @@ class TestDeterminism:
             def draw(seed: int | np.random.Generator):
                 generator = np.random.default_rng(seed)
                 return generator.integers(0, 10)
+            """,
+        )
+        assert result.ok
+
+    def test_clock_into_counter_flagged(self, tmp_path):
+        result = run_on(
+            tmp_path,
+            """\
+            import time
+
+            def bill(counter):
+                began = time.perf_counter()
+                counter.inc(time.perf_counter() - began)
+            """,
+        )
+        assert findings(result, "determinism.clock-into-metric") == [
+            (5, "determinism.clock-into-metric")
+        ]
+
+    def test_clock_taint_propagates_through_assignments(self, tmp_path):
+        result = run_on(
+            tmp_path,
+            """\
+            import time
+
+            def bill(gauge):
+                began = time.perf_counter()
+                elapsed = time.perf_counter() - began
+                doubled = elapsed * 2
+                gauge.set(doubled)
+            """,
+        )
+        assert findings(result, "determinism.clock-into-metric") == [
+            (7, "determinism.clock-into-metric")
+        ]
+
+    def test_clock_into_observe_is_sanctioned(self, tmp_path):
+        result = run_on(
+            tmp_path,
+            """\
+            import time
+
+            def bill(histogram):
+                began = time.perf_counter()
+                histogram.observe(time.perf_counter() - began)
+            """,
+        )
+        assert result.ok
+
+    def test_untainted_counting_clean(self, tmp_path):
+        result = run_on(
+            tmp_path,
+            """\
+            import time
+
+            def bill(counter, gauge, batch):
+                began = time.perf_counter()
+                counter.inc(batch.size)
+                gauge.set(batch.depth)
+                return time.perf_counter() - began
             """,
         )
         assert result.ok

@@ -328,3 +328,195 @@ class TestEngineCli:
             main(["engine", "--shards", "0"])
         with pytest.raises(SystemExit):
             main(["engine", "--duplication", "0.5"])
+
+
+class _CountingSMB(SelfMorphingBitmap):
+    """Test double: counts records actually applied via the plane path."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.applied = 0
+
+    def _record_plane(self, plane):
+        super()._record_plane(plane)
+        self.applied += plane.size
+
+
+class _FailingSMB(_CountingSMB):
+    """Test double: applies its first sub-batch, then always raises."""
+
+    def _record_plane(self, plane):
+        if self.applied > 0:
+            raise RuntimeError("injected shard failure")
+        super()._record_plane(plane)
+
+
+class TestPipelineFailure:
+    """Counter integrity and fast-fail when a shard worker dies."""
+
+    def _failing_pool(self):
+        return ShardPool(
+            lambda k: _FailingSMB(1000, threshold=100, seed=0)
+            if k == 0 else _CountingSMB(1000, threshold=100, seed=0),
+            2,
+            seed=0,
+        )
+
+    def test_failure_counters_balance_exactly(self):
+        import threading
+
+        pool = self._failing_pool()
+        pipe = IngestPipeline(pool, chunk_size=256, queue_depth=1)
+        failed = threading.Event()
+
+        class GatedPartitioner:
+            """Delegates to the real partitioner, but after the first
+            chunk waits until the failing worker has actually died, so
+            the producer's per-chunk check fires deterministically."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.chunks = 0
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+            def split_plane(self, plane):
+                if self.chunks:
+                    failed.wait(10)
+                self.chunks += 1
+                return self.inner.split_plane(plane)
+
+        pool.partitioner = GatedPartitioner(pool.partitioner)
+        original_record = _FailingSMB._record_plane
+
+        def record_and_signal(self, plane):
+            try:
+                original_record(self, plane)
+            except RuntimeError:
+                failed.set()
+                raise
+
+        _FailingSMB._record_plane = record_and_signal
+        items = distinct_items(4000, seed=30)
+        try:
+            with pytest.raises(RuntimeError, match="ingest worker failed"):
+                pipe.submit(items)
+                pipe.drain()
+        finally:
+            _FailingSMB._record_plane = original_record
+        with pytest.raises(RuntimeError, match="ingest worker failed"):
+            pipe.close()
+        # Fast-fail: the producer stopped at a chunk boundary well
+        # before the stream's end, and counted only enqueued chunks.
+        assert 0 < pipe.records_submitted < items.size
+        # Every enqueued record was either fully applied or counted as
+        # dropped -- the identity the records_dropped fix guarantees.
+        applied = sum(shard.applied for shard in pool.shards)
+        assert pipe.records_submitted == applied + pipe.records_dropped
+        assert pipe.records_dropped > 0
+
+    def test_submit_after_failure_enqueues_nothing(self):
+        pool = smb_pool(num_shards=2)
+        pipe = IngestPipeline(pool)
+        pipe._errors.append(RuntimeError("injected"))
+        with pytest.raises(RuntimeError, match="ingest worker failed"):
+            pipe.submit([1, 2, 3])
+        assert pipe.records_submitted == 0
+        assert pool.hash_ops == 0  # no routing ops billed either
+        pipe._errors.clear()
+        pipe.close()
+
+    def test_healthy_run_has_no_drops(self):
+        pool = smb_pool(num_shards=4)
+        with IngestPipeline(pool) as pipe:
+            pipe.submit(distinct_items(10_000, seed=31))
+            pipe.drain()
+        assert pipe.records_submitted == 10_000
+        assert pipe.records_dropped == 0
+
+
+class TestCheckpointStrictness:
+    """Strict framing and durability of the checkpoint container."""
+
+    def test_trailing_bytes_rejected(self, tmp_path):
+        pool = smb_pool(num_shards=2)
+        pool.record_many(distinct_items(500, seed=40))
+        path = tmp_path / "pool.ckpt"
+        checkpoint.save(pool, path)
+        padded = tmp_path / "padded.ckpt"
+        padded.write_bytes(path.read_bytes() + b"JUNKJUNK")
+        with pytest.raises(ValueError, match="trailing"):
+            checkpoint.load(padded)
+        # The untouched original still loads.
+        assert checkpoint.load(path).to_bytes() == pool.to_bytes()
+
+    def test_truncated_class_name_rejected(self, tmp_path):
+        bad = checkpoint._HEADER.pack(
+            checkpoint._MAGIC, checkpoint._VERSION, 200
+        ) + b"Short" + b"\x00" * checkpoint._TRAILER.size
+        path = tmp_path / "badname.ckpt"
+        path.write_bytes(bad)
+        with pytest.raises(ValueError, match="truncated class name"):
+            checkpoint.load(path)
+
+    def test_pool_payload_trailing_bytes_rejected(self):
+        pool = smb_pool(num_shards=2)
+        pool.record_many(distinct_items(200, seed=41))
+        data = pool.to_bytes()
+        assert ShardPool.from_bytes(data).to_bytes() == data
+        with pytest.raises(ValueError, match="trailing"):
+            ShardPool.from_bytes(data + b"X")
+
+    def test_pool_payload_truncated_name_rejected(self):
+        import struct as _struct
+
+        from repro.engine import shards as shards_module
+
+        data = shards_module._HEADER.pack(
+            shards_module._MAGIC, shards_module._VERSION, 1, 0
+        ) + shards_module._SHARD_HEADER.pack(50, 10) + b"abc"
+        with pytest.raises(ValueError, match="truncated shard class name"):
+            ShardPool.from_bytes(data)
+
+    def test_crash_before_replace_leaves_previous_loadable(
+        self, tmp_path, monkeypatch
+    ):
+        pool = smb_pool(num_shards=2)
+        pool.record_many(distinct_items(300, seed=42))
+        path = tmp_path / "pool.ckpt"
+        checkpoint.save(pool, path)
+        before = path.read_bytes()
+        pool.record_many(distinct_items(300, seed=43))
+
+        def crash(src, dst):
+            raise OSError("simulated crash between temp write and replace")
+
+        monkeypatch.setattr(checkpoint.os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            checkpoint.save(pool, path)
+        monkeypatch.undo()
+        # Previous checkpoint intact and loadable; no temp residue.
+        assert path.read_bytes() == before
+        assert isinstance(checkpoint.load(path), ShardPool)
+        residue = [f for f in os.listdir(tmp_path)
+                   if f.startswith(".checkpoint-")]
+        assert residue == []
+
+    def test_sync_directory_optout_smoke(self, tmp_path):
+        pool = smb_pool(num_shards=2)
+        path = tmp_path / "pool.ckpt"
+        written = checkpoint.save(pool, path, sync_directory=False)
+        assert written == os.path.getsize(path)
+        assert checkpoint.load(path).to_bytes() == pool.to_bytes()
+
+    def test_directory_fsync_guard_swallows_unsupported(self, monkeypatch):
+        calls = []
+
+        def refuse(path, flags):
+            calls.append(path)
+            raise OSError("directories not openable here")
+
+        monkeypatch.setattr(checkpoint.os, "open", refuse)
+        checkpoint._fsync_directory(".")  # must not raise
+        assert calls == ["."]

@@ -113,6 +113,16 @@ class TestCanonical:
         with pytest.raises(TypeError):
             canonical_u64_array(np.ones(3))
 
+    def test_array_from_mixed_list_starting_with_int(self):
+        # The homogeneous-int fast path must fall back to the per-item
+        # path when the list turns out to be mixed (or holds negatives),
+        # not crash inside np.asarray.
+        out = canonical_u64_array([1, "two", b"three"])
+        expected = [canonical_u64(x) for x in (1, "two", b"three")]
+        assert out.tolist() == expected
+        negative = canonical_u64_array([5, -5])
+        assert negative.tolist() == [canonical_u64(5), canonical_u64(-5)]
+
 
 class TestUniformHash:
     def test_seeds_give_different_functions(self):

@@ -24,6 +24,17 @@ Usage (from the repo root)::
 
 ``REPRO_SCALE`` scales the stream sizes down for smoke runs, exactly as
 it does for the experiment harness.
+
+The module also owns two observability-related validators/writers:
+
+- ``--check-metrics FILE`` validates a ``repro.obs`` JSON metrics
+  snapshot (as written by ``repro engine --metrics-out``) against
+  :func:`validate_metrics_snapshot` — used by the CI obs job;
+- ``--obs-out BENCH_obs.json`` measures SMB recording throughput with
+  metrics disabled and enabled against the ``BENCH_kernels.json``
+  baseline and records both modes plus the overhead criteria
+  (disabled < 2% regression, enabled < 5%), which
+  ``tests/test_obs.py`` asserts as the overhead guard.
 """
 
 from __future__ import annotations
@@ -172,6 +183,209 @@ def validate_snapshot(snapshot: object) -> list[str]:
     return errors
 
 
+# ----------------------------------------------------------------------
+# repro.obs metrics-snapshot schema (``--check-metrics``)
+# ----------------------------------------------------------------------
+# The JSON document written by ``repro engine --metrics-out`` (and by
+# ``repro.obs.render.write_snapshot`` generally) is heterogeneous:
+# counter/gauge samples carry ``value`` while histogram samples carry
+# ``count``/``sum``/``buckets``/quantiles, so the shape depends on the
+# family's ``type``. That dispatch lives in a dedicated walker which
+# reuses ``_check`` for the uniform leaves.
+
+_METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+def _check_metric_family(family: object, path: str, errors: list[str]) -> None:
+    """Validate one family entry of a metrics snapshot."""
+    if not isinstance(family, dict):
+        errors.append(f"{path}: expected an object, got {family!r}")
+        return
+    for key in {"name", "type", "help", "label_names", "samples"} - family.keys():
+        errors.append(f"{path}: missing required key {key!r}")
+    _check(family.get("name"), str, f"{path}.name", errors)
+    if not isinstance(family.get("help"), str):
+        errors.append(f"{path}.help: expected a string")
+    kind = family.get("type")
+    if kind not in _METRIC_KINDS:
+        errors.append(
+            f"{path}.type: expected one of {_METRIC_KINDS}, got {kind!r}"
+        )
+        return
+    label_names = family.get("label_names")
+    if not isinstance(label_names, list) or any(
+        not isinstance(name, str) for name in label_names
+    ):
+        errors.append(f"{path}.label_names: expected a list of strings")
+        label_names = []
+    samples = family.get("samples")
+    if not isinstance(samples, list):
+        errors.append(f"{path}.samples: expected a list")
+        return
+    for i, sample in enumerate(samples):
+        _check_metric_sample(
+            sample, kind, label_names, f"{path}.samples[{i}]", errors
+        )
+
+
+def _check_metric_sample(
+    sample: object,
+    kind: str,
+    label_names: list[str],
+    path: str,
+    errors: list[str],
+) -> None:
+    """Validate one sample: labels plus the kind-dependent payload."""
+    if not isinstance(sample, dict):
+        errors.append(f"{path}: expected an object, got {sample!r}")
+        return
+    labels = sample.get("labels")
+    if (
+        not isinstance(labels, dict)
+        or set(labels) != set(label_names)
+        or any(not isinstance(v, str) for v in labels.values())
+    ):
+        errors.append(
+            f"{path}.labels: expected string labels for {tuple(label_names)}"
+        )
+    if kind != "histogram":
+        _check(sample.get("value"), "number", f"{path}.value", errors)
+        return
+    _check(sample.get("count"), "count", f"{path}.count", errors)
+    for key in ("sum", "p50", "p90", "p99"):
+        _check(sample.get(key), "number", f"{path}.{key}", errors)
+    buckets = sample.get("buckets")
+    if not isinstance(buckets, list) or not buckets:
+        errors.append(f"{path}.buckets: expected a non-empty list")
+        return
+    previous = -1.0
+    for j, bucket in enumerate(buckets):
+        bpath = f"{path}.buckets[{j}]"
+        if (
+            not isinstance(bucket, list)
+            or len(bucket) != 2
+            or not isinstance(bucket[0], str)
+        ):
+            errors.append(f"{bpath}: expected a [bound, cumulative] pair")
+            continue
+        _check(bucket[1], "count", f"{bpath}[1]", errors)
+        if isinstance(bucket[1], (int, float)) and not isinstance(
+            bucket[1], bool
+        ):
+            if bucket[1] < previous:
+                errors.append(f"{bpath}: cumulative count decreased")
+            previous = bucket[1]
+    last = buckets[-1]
+    if isinstance(last, list) and last and last[0] != "+Inf":
+        errors.append(f"{path}.buckets: last bound must be '+Inf'")
+
+
+def validate_metrics_snapshot(document: object) -> list[str]:
+    """Validate a ``repro.obs`` metrics snapshot; returns problems."""
+    errors: list[str] = []
+    if not isinstance(document, dict):
+        return [f"snapshot: expected an object, got {document!r}"]
+    if document.get("generated_by") != "repro.obs":
+        errors.append(
+            "snapshot.generated_by: expected 'repro.obs', got "
+            f"{document.get('generated_by')!r}"
+        )
+    metrics = document.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        errors.append("snapshot.metrics: expected a non-empty list")
+        metrics = []
+    for i, family in enumerate(metrics):
+        _check_metric_family(family, f"snapshot.metrics[{i}]", errors)
+    run = document.get("run")
+    if run is not None:
+        if not isinstance(run, dict) or not run:
+            errors.append("snapshot.run: expected a non-empty object")
+        else:
+            for key, value in run.items():
+                _check(value, "number", f"snapshot.run.{key}", errors)
+    for key in sorted(document.keys() - {"generated_by", "metrics", "run"}):
+        errors.append(f"snapshot: unexpected key {key!r}")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Observability overhead snapshot (``--obs-out`` → BENCH_obs.json)
+# ----------------------------------------------------------------------
+
+_OBS_MODE_ROW = {
+    "mdps": "count",
+    "seconds": "count",
+    "regression_vs_baseline": "number",
+}
+
+OBS_SNAPSHOT_SCHEMA = {
+    "generated_by": str,
+    "python": str,
+    "numpy": str,
+    "stream_items": "count",
+    "estimator": str,
+    "baseline_mdps": "count",
+    "baseline_source": str,
+    "modes": {"disabled": _OBS_MODE_ROW, "enabled": _OBS_MODE_ROW},
+    "criteria": {
+        "disabled_max_regression": "number",
+        "enabled_max_regression": "number",
+        "pass": bool,
+    },
+}
+
+
+def validate_obs_snapshot(snapshot: object) -> list[str]:
+    """Validate a BENCH_obs.json dict; returns a list of problems."""
+    errors: list[str] = []
+    _check(snapshot, OBS_SNAPSHOT_SCHEMA, "snapshot", errors)
+    return errors
+
+
+def bench_obs(items: np.ndarray, baseline_mdps: float) -> dict:
+    """SMB recording throughput with metrics disabled vs enabled.
+
+    ``disabled`` runs exactly the table-4 recording benchmark with the
+    default ``NullRegistry`` in place; ``enabled`` installs a live
+    ``MetricsRegistry`` and attaches an ``SMBObserver`` sink before
+    recording. Both are best-of-5 single-pass timings over fresh
+    estimators, compared against the ``BENCH_kernels.json`` SMB batch
+    throughput (the pre-observability baseline).
+    """
+    from repro.obs import MetricsRegistry, SMBObserver, set_registry
+
+    design = max(items.size, 1_000_000)
+    repeats = 5
+
+    def measure(attach: bool) -> float:
+        best = float("inf")
+        for seed in range(repeats):
+            warmup = make_estimator("SMB", MEMORY_BITS, design, seed=1)
+            estimator = make_estimator("SMB", MEMORY_BITS, design, seed=0)
+            if attach:
+                registry = MetricsRegistry()
+                previous = set_registry(registry)
+                warmup.attach_metrics(SMBObserver(registry, shard="warmup"))
+                estimator.attach_metrics(SMBObserver(registry))
+            try:
+                best = min(best, time_recording(estimator, items, warmup=warmup))
+            finally:
+                if attach:
+                    set_registry(previous)
+        return best
+
+    modes = {}
+    for mode, attach in (("disabled", False), ("enabled", True)):
+        seconds = measure(attach)
+        rate = mdps(items.size, seconds)
+        modes[mode] = {
+            "mdps": round(rate, 3),
+            "seconds": round(seconds, 6),
+            "regression_vs_baseline": round(1.0 - rate / baseline_mdps, 4),
+        }
+    return modes
+
+
 def _time(fn, repeats: int = 3) -> float:
     """Best-of-N wall time of ``fn`` in seconds (noise-resistant)."""
     best = float("inf")
@@ -301,6 +515,55 @@ def bench_engine(items: np.ndarray) -> list[dict]:
     return rows
 
 
+def _write_obs_snapshot(out: Path) -> int:
+    """Measure obs overhead against BENCH_kernels.json and write it."""
+    kernels_path = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+    kernels = json.loads(kernels_path.read_text())
+    baseline_mdps = kernels["recording"]["SMB"]["batch_mdps"]
+
+    scale = repro_scale(1.0)
+    stream_items = max(10_000, int(1_000_000 * scale))
+    items = distinct_items(stream_items, seed=9)
+    modes = bench_obs(items, baseline_mdps)
+
+    snapshot = {
+        "generated_by": "tools/bench_snapshot.py",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "stream_items": stream_items,
+        "estimator": "SMB",
+        "baseline_mdps": baseline_mdps,
+        "baseline_source": "BENCH_kernels.json recording.SMB.batch_mdps",
+        "modes": modes,
+        "criteria": {
+            "disabled_max_regression": 0.02,
+            "enabled_max_regression": 0.05,
+            "pass": (
+                modes["disabled"]["regression_vs_baseline"] < 0.02
+                and modes["enabled"]["regression_vs_baseline"] < 0.05
+            ),
+        },
+    }
+
+    problems = validate_obs_snapshot(snapshot)
+    if problems:
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        print("refusing to write a snapshot that fails its own schema")
+        return 1
+
+    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {out}")
+    for mode, row in modes.items():
+        print(
+            f"  {mode:8s} {row['mdps']:.3f} Mdps "
+            f"({row['regression_vs_baseline']:+.2%} vs baseline)"
+        )
+    if not snapshot["criteria"]["pass"]:
+        print("WARNING: observability overhead above the 2%/5% thresholds")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -313,6 +576,23 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="validate an existing snapshot against the schema and exit",
     )
+    parser.add_argument(
+        "--check-metrics",
+        metavar="FILE",
+        help=(
+            "validate a repro.obs metrics snapshot (from "
+            "`repro engine --metrics-out`) and exit"
+        ),
+    )
+    parser.add_argument(
+        "--obs-out",
+        metavar="FILE",
+        help=(
+            "measure metrics-disabled vs metrics-enabled SMB recording "
+            "throughput and write the overhead snapshot (BENCH_obs.json), "
+            "then exit"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.check is not None:
@@ -321,6 +601,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"schema: {problem}", file=sys.stderr)
         print(f"{args.check}: {'INVALID' if problems else 'ok'}")
         return 1 if problems else 0
+
+    if args.check_metrics is not None:
+        problems = validate_metrics_snapshot(
+            json.loads(Path(args.check_metrics).read_text())
+        )
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        print(f"{args.check_metrics}: {'INVALID' if problems else 'ok'}")
+        return 1 if problems else 0
+
+    if args.obs_out is not None:
+        return _write_obs_snapshot(Path(args.obs_out))
 
     scale = repro_scale(1.0)
     stream_items = max(10_000, int(1_000_000 * scale))
