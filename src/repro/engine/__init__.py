@@ -12,7 +12,11 @@ driver loop (see ``docs/architecture.md``, "Layer 5"):
   bounded-queue producer/consumer pipeline with one worker thread per
   shard and backpressure;
 - :mod:`repro.engine.checkpoint` — atomic on-disk snapshot/restore of
-  pools and estimators (write-to-temp + rename, CRC-validated).
+  pools and estimators (write-to-temp + rename, CRC-validated);
+- :mod:`repro.engine.recovery` — :class:`CheckpointManager` and
+  :class:`RetryPolicy`, generation-rotated crash recovery on top of
+  the checkpoint layer (CRC'd manifest, torn-generation fallback,
+  orphan sweep, bounded retries with deterministic jitter).
 
 Quickstart::
 
@@ -28,11 +32,21 @@ Quickstart::
 from repro.engine import checkpoint
 from repro.engine.partition import Partitioner
 from repro.engine.pipeline import IngestPipeline
+from repro.engine.recovery import (
+    CheckpointManager,
+    Generation,
+    RecoveryError,
+    RetryPolicy,
+)
 from repro.engine.shards import ShardPool, estimator_registry
 
 __all__ = [
+    "CheckpointManager",
+    "Generation",
     "IngestPipeline",
     "Partitioner",
+    "RecoveryError",
+    "RetryPolicy",
     "ShardPool",
     "checkpoint",
     "estimator_registry",

@@ -7,11 +7,18 @@ a small versioned container::
     | u32 CRC-32 of payload | u64 payload length | payload
 
 and are written **atomically and durably**: the bytes go to a temporary
-file in the target directory, are flushed and fsynced, the file is then
-renamed over the destination with ``os.replace``, and finally the
-containing directory is fsynced so the rename itself survives a crash
-(pass ``sync_directory=False`` to skip that last step in tests). A
-crash mid-checkpoint leaves the previous checkpoint intact.
+file in the target directory (re-chmodded from ``mkstemp``'s private
+0600 to honor the process umask, like a plain ``open()`` would), are
+flushed and fsynced, the file is then renamed over the destination with
+``os.replace``, and finally the containing directory is fsynced so the
+rename itself survives a crash (pass ``sync_directory=False`` to skip
+that last step in tests). A crash mid-checkpoint leaves the previous
+checkpoint intact; a crash *before* the rename can orphan a
+``.checkpoint-*`` temp file, which
+:class:`~repro.engine.recovery.CheckpointManager` sweeps at startup.
+Both crash windows carry :mod:`repro.testing.faults` failpoints
+(``checkpoint.pre-fsync``, ``checkpoint.post-replace``) so the
+fault-injection suite can prove those guarantees.
 
 Validation at load time is **strict**: a torn, corrupted, or padded
 file is rejected rather than deserialized into a silently-wrong
@@ -45,6 +52,12 @@ import zlib
 from repro.estimators.base import CardinalityEstimator
 from repro.engine.shards import ShardPool, estimator_registry
 from repro.obs.metrics import get_registry
+from repro.testing.faults import fire
+
+#: Prefix of the temporary files :func:`save` writes before the atomic
+#: rename. Recovery's orphan sweep keys on it
+#: (:meth:`repro.engine.recovery.CheckpointManager.sweep_orphans`).
+TEMP_PREFIX = ".checkpoint-"
 
 _HEADER = struct.Struct("<4sHB")  # magic, version, class-name length
 _TRAILER = struct.Struct("<IQ")  # crc32, payload length
@@ -57,6 +70,19 @@ def _registry() -> dict[str, type]:
     registry = estimator_registry()
     registry[ShardPool.__name__] = ShardPool
     return registry
+
+
+def _current_umask() -> int:
+    """The process umask, read without changing it observably.
+
+    POSIX offers no read-only accessor: the mask is read by setting it
+    and immediately restoring it. The set/restore pair is not atomic
+    with respect to other threads calling ``os.umask`` concurrently —
+    nothing in this library does, and the window is two syscalls wide.
+    """
+    mask = os.umask(0)
+    os.umask(mask)
+    return mask
 
 
 def _fsync_directory(directory: str) -> None:
@@ -114,14 +140,23 @@ def save(
     path = os.fspath(path)
     directory = os.path.dirname(path) or "."
     descriptor, temp_path = tempfile.mkstemp(
-        prefix=".checkpoint-", dir=directory
+        prefix=TEMP_PREFIX, dir=directory
     )
     try:
         with os.fdopen(descriptor, "wb") as handle:
+            # mkstemp creates the file 0600 regardless of umask (it is
+            # private scratch space); the *final* checkpoint must carry
+            # the permissions a plain open() would have produced, so
+            # widen to 0666 minus the process umask before the rename
+            # publishes the file.
+            if hasattr(os, "fchmod"):
+                os.fchmod(handle.fileno(), 0o666 & ~_current_umask())
             handle.write(blob)
             handle.flush()
+            fire("checkpoint.pre-fsync")
             os.fsync(handle.fileno())
         os.replace(temp_path, path)
+        fire("checkpoint.post-replace")
     except BaseException:
         try:
             os.unlink(temp_path)

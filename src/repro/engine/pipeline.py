@@ -23,7 +23,11 @@ falls behind, so an unbounded producer cannot exhaust memory.
 **Shutdown.** :meth:`drain` blocks until every enqueued sub-batch has
 been applied (safe point for :meth:`estimate` or a checkpoint);
 :meth:`close` drains, stops the workers, and re-raises the first worker
-error, if any. The pipeline is a context manager::
+error, if any. Lifecycle transitions are lock-guarded: concurrent
+``close`` calls elect exactly one finisher, a submit racing a close
+either completes before the stop sentinels go out or raises
+``RuntimeError`` — never enqueues behind a sentinel. The pipeline is a
+context manager::
 
     with IngestPipeline(pool) as pipe:
         for batch in batches:
@@ -48,6 +52,15 @@ happens per chunk or per sub-batch — never per item — and with the
 default :class:`~repro.obs.metrics.NullRegistry` the instrumented
 branches collapse to a single ``is None`` check.
 
+**Durability.** Constructed with a
+:class:`~repro.engine.recovery.CheckpointManager` and
+``checkpoint_every=N``, the submit path checkpoints the pool at a
+drained safe point every ``N`` enqueued records (see
+:meth:`IngestPipeline.checkpoint_now` and ``docs/recovery.md``); the
+crash windows on both sides of the queue hand-off carry
+:mod:`repro.testing.faults` failpoints (``pipeline.queue-put``,
+``pipeline.worker-apply``) for the fault-injection suite.
+
 Throughput note: CPython threads interleave on the GIL, but NumPy
 releases it inside the vectorized kernels that dominate the batch path,
 so partitioning and per-shard recording genuinely overlap.
@@ -58,7 +71,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
@@ -66,6 +79,10 @@ from repro.engine.shards import ShardPool
 from repro.hashing import canonical_u64_array
 from repro.kernels import HashPlane
 from repro.obs.metrics import get_registry
+from repro.testing.faults import fire
+
+if TYPE_CHECKING:  # import cycle guard: recovery imports checkpoint
+    from repro.engine.recovery import CheckpointManager, Generation
 
 #: Default chunk size of the submit path — same order as SMB's dedup
 #: window (``repro.core.smb.BATCH_CHUNK``), large enough to amortize
@@ -88,6 +105,15 @@ class IngestPipeline:
     queue_depth:
         Bound of each per-shard queue, in sub-batches; the submit path
         blocks (backpressure) when a queue is full.
+    checkpoint_manager / checkpoint_every:
+        Optional crash-durability wiring: with a
+        :class:`~repro.engine.recovery.CheckpointManager` and a
+        positive ``checkpoint_every`` (records), the submit path drains
+        to a safe point and writes a checkpoint generation every time
+        that many records have been enqueued since the last one. Set
+        :attr:`checkpoint_meta` to enrich the generation metadata (the
+        engine CLI records the absolute stream offset there for exact
+        resume).
     """
 
     def __init__(
@@ -95,20 +121,42 @@ class IngestPipeline:
         pool: ShardPool,
         chunk_size: int = DEFAULT_CHUNK,
         queue_depth: int = 8,
+        checkpoint_manager: "CheckpointManager | None" = None,
+        checkpoint_every: int = 0,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if checkpoint_every and checkpoint_manager is None:
+            raise ValueError(
+                "checkpoint_every requires a checkpoint_manager"
+            )
         self.pool = pool
         self.chunk_size = int(chunk_size)
         self.records_submitted = 0
         self.records_dropped = 0
+        self.checkpoint_manager = checkpoint_manager
+        self.checkpoint_every = int(checkpoint_every)
+        #: Optional ``() -> dict`` hook merged into every periodic
+        #: checkpoint's metadata (e.g. an absolute stream offset).
+        self.checkpoint_meta: Callable[[], dict] | None = None
+        self._records_since_checkpoint = 0
         self._drop_lock = threading.Lock()
         self._queues: list[queue.Queue] = [
             queue.Queue(maxsize=queue_depth) for __ in pool.shards
         ]
         self._errors: list[BaseException] = []
+        # Lifecycle state: _closed flips exactly once, under _lifecycle;
+        # submits register in _active_submits so close() can wait for
+        # them instead of racing them to the queue sentinels.
+        self._lifecycle = threading.Condition()
+        self._active_submits = 0
+        self._close_complete = threading.Event()
         self._closed = False
         registry = get_registry()
         if registry.enabled:
@@ -155,10 +203,12 @@ class IngestPipeline:
                 if self._errors:
                     self._count_dropped(batch.size)
                 elif obs is None:
+                    fire("pipeline.worker-apply")
                     shard._record_plane(batch)
                 else:
                     began = time.perf_counter()
                     try:
+                        fire("pipeline.worker-apply")
                         shard._record_plane(batch)
                     finally:
                         obs.apply_latency[shard_index].observe(
@@ -191,11 +241,30 @@ class IngestPipeline:
         has failed — the failure check runs before *every* chunk, so a
         mid-stream worker death stops the producer at the next chunk
         boundary. Counters (:attr:`records_submitted`, the pool's
-        routing hash ops) only ever cover chunks that were actually
-        enqueued.
+        routing hash ops) only ever cover chunks whose every sub-plane
+        was actually enqueued — both are billed *after* the enqueue
+        loop, so a failure mid-chunk (partitioner error, injected
+        ``pipeline.queue-put`` fault) cannot skew routing-ops
+        accounting relative to the record counters.
+
+        Submit-vs-close is deterministic: a submit that starts after
+        :meth:`close` was called raises immediately; a submit already
+        in flight is waited for by ``close`` (nothing is ever enqueued
+        behind the stop sentinel).
         """
-        if self._closed:
-            raise RuntimeError("cannot submit to a closed pipeline")
+        with self._lifecycle:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed pipeline")
+            self._active_submits += 1
+        try:
+            return self._submit_registered(items)
+        finally:
+            with self._lifecycle:
+                self._active_submits -= 1
+                self._lifecycle.notify_all()
+
+    def _submit_registered(self, items: Iterable[object] | np.ndarray) -> int:
+        """The body of :meth:`submit`, after lifecycle registration."""
         self._raise_pending()
         values = canonical_u64_array(items)
         # Hash in the producer, at full chunk width: NumPy releases the
@@ -208,25 +277,58 @@ class IngestPipeline:
             self._raise_pending()  # fast-fail between chunks
             plane = HashPlane(values[start:start + self.chunk_size])
             plane.prefetch(requests)
-            if self.pool.num_shards > 1:
-                # Same routing-hash accounting as ShardPool._record_plane
-                # (the pipeline partitions directly, bypassing that
-                # method) — billed per enqueued chunk.
-                self.pool._route_hash_ops += plane.size
             for shard_index, part in enumerate(
                 self.pool.partitioner.split_plane(plane)
             ):
                 if not part.size:
                     continue
+                fire("pipeline.queue-put")
                 if obs is None:
                     self._queues[shard_index].put(part)
                 else:
                     self._put_observed(shard_index, part, obs)
+            # Billed only after the whole chunk is enqueued — the
+            # routing hashes were *used* (split_plane), but accounting
+            # must stay consistent with records_submitted, which a
+            # mid-chunk failure must not advance either. Same
+            # routing-hash accounting as ShardPool._record_plane (the
+            # pipeline partitions directly, bypassing that method).
+            if self.pool.num_shards > 1:
+                self.pool._route_hash_ops += plane.size
             enqueued += plane.size
             self.records_submitted += plane.size
             if obs is not None:
                 obs.submitted.inc(plane.size)
+            if self.checkpoint_every:
+                self._records_since_checkpoint += plane.size
+                if self._records_since_checkpoint >= self.checkpoint_every:
+                    self.checkpoint_now()
         return enqueued
+
+    def checkpoint_now(self, meta: dict | None = None) -> "Generation":
+        """Drain to a safe point and write one checkpoint generation.
+
+        Requires a ``checkpoint_manager``. The pool is drained first,
+        so the generation captures a state exactly equivalent to a
+        synchronous ingest of every record submitted so far; the
+        metadata records :attr:`records_submitted` (plus anything the
+        :attr:`checkpoint_meta` hook or the ``meta`` argument adds), so
+        a resumed run knows the exact stream offset to replay from.
+        """
+        if self.checkpoint_manager is None:
+            raise RuntimeError(
+                "pipeline has no checkpoint_manager to checkpoint into"
+            )
+        self.drain()
+        merged: dict = {}
+        if self.checkpoint_meta is not None:
+            merged.update(self.checkpoint_meta())
+        if meta:
+            merged.update(meta)
+        merged.setdefault("records_submitted", self.records_submitted)
+        generation = self.checkpoint_manager.save(self.pool, meta=merged)
+        self._records_since_checkpoint = 0
+        return generation
 
     def _put_observed(self, shard_index: int, part, obs) -> None:
         """Enqueue one sub-batch, timing any backpressure stall."""
@@ -258,18 +360,38 @@ class IngestPipeline:
         return self.pool.query()
 
     def close(self) -> None:
-        """Drain, stop the workers, and surface any worker error."""
-        if self._closed:
+        """Drain, stop the workers, and surface any worker error.
+
+        Thread-safe and idempotent *under concurrency*: the ``_closed``
+        flip happens under the lifecycle lock, so exactly one caller
+        becomes the finisher (joins queues, enqueues the stop sentinels
+        once, joins the workers); every other concurrent or later call
+        waits for that shutdown to complete and returns. The finisher
+        also waits out in-flight :meth:`submit` calls before sending
+        the sentinels, so no sub-batch is ever enqueued behind a
+        sentinel — the submit-vs-close race resolves deterministically
+        (late submits raise, in-flight submits finish first).
+        """
+        with self._lifecycle:
+            finisher = not self._closed
+            self._closed = True
+            if finisher:
+                while self._active_submits:
+                    self._lifecycle.wait()
+        if not finisher:
+            self._close_complete.wait()
             return
-        self._closed = True
-        for inbox in self._queues:
-            inbox.join()
-        for inbox in self._queues:
-            inbox.put(_STOP)
-        for worker in self._workers:
-            worker.join()
-        if self.pool_observer is not None:
-            self.pool_observer.update()
+        try:
+            for inbox in self._queues:
+                inbox.join()
+            for inbox in self._queues:
+                inbox.put(_STOP)
+            for worker in self._workers:
+                worker.join()
+            if self.pool_observer is not None:
+                self.pool_observer.update()
+        finally:
+            self._close_complete.set()
         self._raise_pending()
 
     def _raise_pending(self) -> None:

@@ -20,7 +20,12 @@ policy (enabled instrumentation may only do per-chunk work, never
 per-item — statically enforced by ``repro analyze``).
 """
 
-from repro.obs.instrument import PipelineMetrics, PoolObserver, SMBObserver
+from repro.obs.instrument import (
+    PipelineMetrics,
+    PoolObserver,
+    RecoveryMetrics,
+    SMBObserver,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -47,6 +52,7 @@ __all__ = [
     "PeriodicSnapshotter",
     "PipelineMetrics",
     "PoolObserver",
+    "RecoveryMetrics",
     "SMBObserver",
     "get_registry",
     "parse_prometheus",

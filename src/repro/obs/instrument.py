@@ -6,6 +6,9 @@ labels are documented in ``docs/observability.md``):
 
 - :class:`PipelineMetrics` — the ingest pipeline's counters, queue
   depth gauges and latency histograms;
+- :class:`RecoveryMetrics` — the crash-recovery manager's save/retry/
+  fallback/orphan counters, retained-generation gauge and durations
+  (:mod:`repro.engine.recovery`);
 - :class:`PoolObserver` — per-shard estimate gauges and the estimate
   skew of a :class:`~repro.engine.shards.ShardPool`;
 - :class:`SMBObserver` — the paper's own adaptivity signals of one
@@ -26,7 +29,12 @@ from __future__ import annotations
 from repro.core.smb import SelfMorphingBitmap
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["PipelineMetrics", "PoolObserver", "SMBObserver"]
+__all__ = [
+    "PipelineMetrics",
+    "PoolObserver",
+    "RecoveryMetrics",
+    "SMBObserver",
+]
 
 #: Bucket bounds for queue/apply latencies (seconds): microseconds for a
 #: sub-plane apply up to whole seconds of backpressure stall.
@@ -76,6 +84,50 @@ class PipelineMetrics:
             "repro_ingest_backpressure_wait_seconds",
             "Time the submit path blocked on a full shard queue",
             buckets=LATENCY_BUCKETS,
+        )
+
+
+class RecoveryMetrics:
+    """Instrument bundle of :class:`~repro.engine.recovery.CheckpointManager`.
+
+    One instance per manager, constructed only when the process-wide
+    registry is enabled (the NullRegistry path never builds it). All
+    instruments are touched per save/load/sweep — recovery has no
+    per-item work at all.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.saves = registry.counter(
+            "repro_recovery_saves_total",
+            "Checkpoint generations successfully written and published",
+        )
+        self.retries = registry.counter(
+            "repro_recovery_retries_total",
+            "Transient checkpoint I/O failures that were retried",
+        )
+        self.fallbacks = registry.counter(
+            "repro_recovery_fallbacks_total",
+            "Torn/unreadable generations skipped by load_latest",
+        )
+        self.orphans_removed = registry.counter(
+            "repro_recovery_orphans_removed_total",
+            "Stale .checkpoint-* temp files deleted by the orphan sweep",
+        )
+        self.pruned = registry.counter(
+            "repro_recovery_generations_pruned_total",
+            "Old generations deleted by keep-N rotation",
+        )
+        self.generations = registry.gauge(
+            "repro_recovery_generations",
+            "Checkpoint generations currently retained",
+        )
+        self.save_seconds = registry.histogram(
+            "repro_recovery_save_seconds",
+            "Wall time of one CheckpointManager.save (incl. rotation)",
+        )
+        self.load_seconds = registry.histogram(
+            "repro_recovery_load_seconds",
+            "Wall time of one CheckpointManager.load_latest",
         )
 
 

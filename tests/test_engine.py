@@ -283,6 +283,24 @@ class TestCheckpoint:
         with pytest.raises(ValueError, match="not checkpointable"):
             checkpoint.save(ExactCounter(), "/tmp/never-written.ckpt")
 
+    @pytest.mark.skipif(
+        not hasattr(os, "umask") or not hasattr(os, "fchmod"),
+        reason="needs POSIX umask/fchmod",
+    )
+    @pytest.mark.parametrize("umask", [0o022, 0o027, 0o077])
+    def test_final_file_honors_process_umask(self, tmp_path, umask):
+        """Regression: mkstemp's private 0600 used to leak through to
+        the published checkpoint regardless of the process umask."""
+        pool = smb_pool(num_shards=2)
+        path = tmp_path / "pool.ckpt"
+        previous = os.umask(umask)
+        try:
+            checkpoint.save(pool, path, sync_directory=False)
+        finally:
+            os.umask(previous)
+        mode = os.stat(path).st_mode & 0o777
+        assert mode == 0o666 & ~umask
+
 
 class TestEngineCli:
     def test_engine_subcommand_runs(self, capsys):
@@ -328,6 +346,54 @@ class TestEngineCli:
             main(["engine", "--shards", "0"])
         with pytest.raises(SystemExit):
             main(["engine", "--duplication", "0.5"])
+
+    def test_bad_recovery_arguments_rejected(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["engine", "--checkpoint-every", "100"])  # no dir
+        with pytest.raises(SystemExit):
+            main(["engine", "--resume"])  # no dir
+        with pytest.raises(SystemExit):
+            main(["engine", "--checkpoint-dir", str(tmp_path), "--keep", "0"])
+        with pytest.raises(SystemExit):
+            main([
+                "engine", "--checkpoint-dir", str(tmp_path), "--resume",
+                "--restore", str(tmp_path / "x.ckpt"),
+            ])
+        with pytest.raises(SystemExit, match="cannot resume"):
+            main([
+                "engine", "--checkpoint-dir", str(tmp_path / "empty"),
+                "--resume",
+            ])
+
+    def test_checkpoint_dir_run_and_resume(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.engine.recovery import CheckpointManager
+
+        directory = str(tmp_path / "ckpts")
+        assert main([
+            "engine", "--shards", "2", "--items", "6000",
+            "--memory-bits", "6000", "--checkpoint-dir", directory,
+            "--checkpoint-every", "2000", "--keep", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "checkpointed generation" in out
+        manager = CheckpointManager(directory, sync_directory=False)
+        generations = manager.generations()
+        assert len(generations) == 2  # keep applied
+        assert generations[-1].meta["records_ingested"] == 6000
+
+        # Resuming a *finished* run ingests nothing and keeps the
+        # estimate (the stream prefix is already checkpointed).
+        assert main([
+            "engine", "--shards", "2", "--items", "6000",
+            "--memory-bits", "6000", "--checkpoint-dir", directory,
+            "--resume",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resumed generation" in out
+        assert "records already ingested: 6000" in out
 
 
 class _CountingSMB(SelfMorphingBitmap):
