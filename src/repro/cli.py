@@ -9,6 +9,7 @@ Usage::
     REPRO_SCALE=1.0 python -m repro table4    # paper-scale workloads
     python -m repro engine --shards 8         # sharded ingestion engine
     python -m repro stats metrics.json        # render a metrics snapshot
+    python -m repro serve --port 9464         # network cardinality server
 
 Each experiment produces one or more *blocks* — a title plus headers
 and rows — printed as aligned text and optionally dumped as JSON. See
@@ -488,6 +489,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import stats_main
 
         return stats_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # Network serving layer (repro.serve); dispatched early for the
+        # same reason as `engine`.
+        from repro.serve.cli import serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables and figures.",
@@ -495,7 +502,8 @@ def main(argv: list[str] | None = None) -> int:
         "REPRO_SCALE=1.0 runs the paper-scale experiments. "
         "'repro engine --help' documents the sharded ingestion engine; "
         "'repro analyze --help' the static invariant checkers; "
-        "'repro stats --help' the metrics-snapshot viewer.",
+        "'repro stats --help' the metrics-snapshot viewer; "
+        "'repro serve --help' the network cardinality server.",
     )
     parser.add_argument(
         "experiment",

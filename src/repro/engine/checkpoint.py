@@ -65,10 +65,33 @@ _MAGIC = b"RPCK"
 _VERSION = 1
 
 
+#: Extra checkpointable classes registered by higher layers — see
+#: :func:`register_checkpointable`.
+_EXTRA_CHECKPOINTABLE: dict[str, type] = {}
+
+
+def register_checkpointable(cls: type) -> type:
+    """Register a class for :func:`save`/:func:`load` round-trips.
+
+    The class must implement ``to_bytes() -> bytes`` and the classmethod
+    ``from_bytes(payload) -> cls`` with the same strict-framing
+    discipline as the estimators. Layers above the engine use this to
+    checkpoint their own aggregates — e.g. the serving layer's
+    multi-tenant registry (:class:`repro.serve.tenants.TenantRegistry`)
+    — through the exact same atomic container and
+    :class:`~repro.engine.recovery.CheckpointManager` machinery.
+    Registering the same class name twice replaces the entry (idempotent
+    for re-imports). Usable as a class decorator.
+    """
+    _EXTRA_CHECKPOINTABLE[cls.__name__] = cls
+    return cls
+
+
 def _registry() -> dict[str, type]:
     """The estimator registry extended with the pool type itself."""
     registry = estimator_registry()
     registry[ShardPool.__name__] = ShardPool
+    registry.update(_EXTRA_CHECKPOINTABLE)
     return registry
 
 

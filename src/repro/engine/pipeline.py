@@ -20,6 +20,18 @@ into a concurrent streaming sink:
 shard); :meth:`IngestPipeline.submit` blocks when a shard's consumer
 falls behind, so an unbounded producer cannot exhaust memory.
 
+**Multiple producers.** :meth:`submit` may be called from any number of
+threads concurrently — in particular from an executor pool driven by an
+``asyncio`` event loop (``loop.run_in_executor``), which is how the
+serving layer (:mod:`repro.serve`) feeds the pipeline. All counters are
+lock-guarded, and :meth:`checkpoint_now` *quiesces* the producers (new
+submits park at a gate, in-flight submits are waited out) before
+draining, so a checkpoint can never capture a half-enqueued chunk from
+a concurrent producer. Within-shard arrival order across producers is
+whatever order their enqueues interleave in — estimator state is
+order-insensitive for a fixed key *set*, and per-producer FIFO still
+holds, which is what the serving layer's per-connection semantics need.
+
 **Shutdown.** :meth:`drain` blocks until every enqueued sub-batch has
 been applied (safe point for :meth:`estimate` or a checkpoint);
 :meth:`close` drains, stops the workers, and re-raises the first worker
@@ -139,6 +151,7 @@ class IngestPipeline:
         self.pool = pool
         self.chunk_size = int(chunk_size)
         self.records_submitted = 0
+        self.records_applied = 0
         self.records_dropped = 0
         self.checkpoint_manager = checkpoint_manager
         self.checkpoint_every = int(checkpoint_every)
@@ -146,16 +159,31 @@ class IngestPipeline:
         #: checkpoint's metadata (e.g. an absolute stream offset).
         self.checkpoint_meta: Callable[[], dict] | None = None
         self._records_since_checkpoint = 0
-        self._drop_lock = threading.Lock()
+        # One lock for every counter that more than one thread writes:
+        # submitted / applied / dropped / since-checkpoint / the pool's
+        # routing-hash ops. Producers may be an executor pool, so the
+        # unsynchronized += of a single-producer design would lose
+        # updates. Cost is one uncontended acquire per *chunk* or
+        # sub-batch, never per item.
+        self._count_lock = threading.Lock()
         self._queues: list[queue.Queue] = [
             queue.Queue(maxsize=queue_depth) for __ in pool.shards
         ]
         self._errors: list[BaseException] = []
         # Lifecycle state: _closed flips exactly once, under _lifecycle;
         # submits register in _active_submits so close() can wait for
-        # them instead of racing them to the queue sentinels.
+        # them instead of racing them to the queue sentinels. _paused
+        # counts outstanding quiesce requests (checkpoint_now): while it
+        # is non-zero, new submits park at the gate instead of starting,
+        # so a checkpoint drains a stable, chunk-aligned state even with
+        # concurrent producers.
         self._lifecycle = threading.Condition()
         self._active_submits = 0
+        self._paused = 0
+        # Serializes checkpoint writers; the periodic trigger inside
+        # submit try-acquires it so two producers crossing the threshold
+        # together cannot deadlock waiting for each other to quiesce.
+        self._checkpoint_mutex = threading.Lock()
         self._close_complete = threading.Event()
         self._closed = False
         registry = get_registry()
@@ -205,11 +233,13 @@ class IngestPipeline:
                 elif obs is None:
                     fire("pipeline.worker-apply")
                     shard._record_plane(batch)
+                    self._count_applied(batch.size)
                 else:
                     began = time.perf_counter()
                     try:
                         fire("pipeline.worker-apply")
                         shard._record_plane(batch)
+                        self._count_applied(batch.size)
                     finally:
                         obs.apply_latency[shard_index].observe(
                             time.perf_counter() - began
@@ -224,11 +254,15 @@ class IngestPipeline:
                 inbox.task_done()
 
     def _count_dropped(self, count: int) -> None:
-        with self._drop_lock:
+        with self._count_lock:
             self.records_dropped += int(count)
         if self._obs is not None:
             self._obs.dropped.inc(count)
             self._obs.batches_dropped.inc()
+
+    def _count_applied(self, count: int) -> None:
+        with self._count_lock:
+            self.records_applied += int(count)
 
     # ------------------------------------------------------------------
     # Producer side
@@ -250,9 +284,15 @@ class IngestPipeline:
         Submit-vs-close is deterministic: a submit that starts after
         :meth:`close` was called raises immediately; a submit already
         in flight is waited for by ``close`` (nothing is ever enqueued
-        behind the stop sentinel).
+        behind the stop sentinel). While a :meth:`checkpoint_now` is
+        quiescing, new submits park at the entry gate and resume once
+        the generation is written — callers observe extra latency, not
+        an error. Safe to call from many threads at once (an
+        ``asyncio`` ``run_in_executor`` pool included).
         """
         with self._lifecycle:
+            while self._paused and not self._closed:
+                self._lifecycle.wait()
             if self._closed:
                 raise RuntimeError("cannot submit to a closed pipeline")
             self._active_submits += 1
@@ -293,42 +333,85 @@ class IngestPipeline:
             # mid-chunk failure must not advance either. Same
             # routing-hash accounting as ShardPool._record_plane (the
             # pipeline partitions directly, bypassing that method).
-            if self.pool.num_shards > 1:
-                self.pool._route_hash_ops += plane.size
+            checkpoint_due = False
+            with self._count_lock:
+                if self.pool.num_shards > 1:
+                    self.pool._route_hash_ops += plane.size
+                self.records_submitted += plane.size
+                if self.checkpoint_every:
+                    self._records_since_checkpoint += plane.size
+                    checkpoint_due = (
+                        self._records_since_checkpoint
+                        >= self.checkpoint_every
+                    )
             enqueued += plane.size
-            self.records_submitted += plane.size
             if obs is not None:
                 obs.submitted.inc(plane.size)
-            if self.checkpoint_every:
-                self._records_since_checkpoint += plane.size
-                if self._records_since_checkpoint >= self.checkpoint_every:
-                    self.checkpoint_now()
+            if checkpoint_due:
+                # Try-acquire: when several producers cross the
+                # threshold together exactly one writes the generation
+                # (it quiesces the others); the losers skip and the
+                # still-high since-checkpoint counter re-triggers on
+                # the winner's next chunk if the threshold is crossed
+                # again.
+                if self._checkpoint_mutex.acquire(blocking=False):
+                    try:
+                        self._checkpoint_quiesced(None, active_allowance=1)
+                    finally:
+                        self._checkpoint_mutex.release()
         return enqueued
 
     def checkpoint_now(self, meta: dict | None = None) -> "Generation":
         """Drain to a safe point and write one checkpoint generation.
 
-        Requires a ``checkpoint_manager``. The pool is drained first,
-        so the generation captures a state exactly equivalent to a
-        synchronous ingest of every record submitted so far; the
-        metadata records :attr:`records_submitted` (plus anything the
+        Requires a ``checkpoint_manager``. Producers are quiesced
+        first (new submits park at the entry gate, in-flight submits
+        are waited out) and the pool is then drained, so the generation
+        captures a state exactly equivalent to a synchronous ingest of
+        every record submitted so far — never a half-enqueued chunk
+        from a concurrent producer. The metadata records
+        :attr:`records_submitted` (plus anything the
         :attr:`checkpoint_meta` hook or the ``meta`` argument adds), so
         a resumed run knows the exact stream offset to replay from.
+        Concurrent callers serialize; each writes its own generation.
+        """
+        with self._checkpoint_mutex:
+            return self._checkpoint_quiesced(meta, active_allowance=0)
+
+    def _checkpoint_quiesced(
+        self, meta: dict | None, active_allowance: int
+    ) -> "Generation":
+        """Quiesce producers, drain, save one generation, resume.
+
+        ``active_allowance`` is the number of in-flight submits allowed
+        to remain registered while draining: 0 for an external caller,
+        1 when called *from inside* a submit (the caller itself). The
+        caller must hold :attr:`_checkpoint_mutex`.
         """
         if self.checkpoint_manager is None:
             raise RuntimeError(
                 "pipeline has no checkpoint_manager to checkpoint into"
             )
-        self.drain()
-        merged: dict = {}
-        if self.checkpoint_meta is not None:
-            merged.update(self.checkpoint_meta())
-        if meta:
-            merged.update(meta)
-        merged.setdefault("records_submitted", self.records_submitted)
-        generation = self.checkpoint_manager.save(self.pool, meta=merged)
-        self._records_since_checkpoint = 0
-        return generation
+        with self._lifecycle:
+            self._paused += 1
+            while self._active_submits > active_allowance:
+                self._lifecycle.wait()
+        try:
+            self.drain()
+            merged: dict = {}
+            if self.checkpoint_meta is not None:
+                merged.update(self.checkpoint_meta())
+            if meta:
+                merged.update(meta)
+            merged.setdefault("records_submitted", self.records_submitted)
+            generation = self.checkpoint_manager.save(self.pool, meta=merged)
+            with self._count_lock:
+                self._records_since_checkpoint = 0
+            return generation
+        finally:
+            with self._lifecycle:
+                self._paused -= 1
+                self._lifecycle.notify_all()
 
     def _put_observed(self, shard_index: int, part, obs) -> None:
         """Enqueue one sub-batch, timing any backpressure stall."""
@@ -375,6 +458,10 @@ class IngestPipeline:
         with self._lifecycle:
             finisher = not self._closed
             self._closed = True
+            # Wake submits parked at the pause gate so they observe the
+            # close and raise instead of sleeping until the in-progress
+            # checkpoint (if any) notifies.
+            self._lifecycle.notify_all()
             if finisher:
                 while self._active_submits:
                     self._lifecycle.wait()

@@ -16,7 +16,11 @@ labels are documented in ``docs/observability.md``):
   ``v/(m−rT)``, morph events and saturation. It satisfies the
   ``SMBMetricsSink`` protocol, so ``smb.attach_metrics(observer)``
   refreshes the gauges once per recorded plane (per chunk, never per
-  item).
+  item);
+- :class:`ServerMetrics` — the cardinality service's per-verb request
+  counters and latency histograms, error counters by code, connection
+  and in-flight gauges, byte counters and the tenant-count gauge
+  (:mod:`repro.serve.server`).
 
 Everything here is only ever constructed when the process-wide registry
 is enabled; with the default :class:`~repro.obs.metrics.NullRegistry`
@@ -33,8 +37,16 @@ __all__ = [
     "PipelineMetrics",
     "PoolObserver",
     "RecoveryMetrics",
+    "SERVE_VERBS",
     "SMBObserver",
+    "ServerMetrics",
 ]
+
+#: The serving layer's request verbs, in wire-constant order. Lives
+#: here (not in ``repro.serve.protocol``) so the metric catalog never
+#: imports the serving layer — ``repro.serve`` imports ``repro.obs``,
+#: not the other way around.
+SERVE_VERBS: tuple[str, ...] = ("record", "estimate", "stats", "checkpoint")
 
 #: Bucket bounds for queue/apply latencies (seconds): microseconds for a
 #: sub-plane apply up to whole seconds of backpressure stall.
@@ -129,6 +141,65 @@ class RecoveryMetrics:
             "repro_recovery_load_seconds",
             "Wall time of one CheckpointManager.load_latest",
         )
+
+
+class ServerMetrics:
+    """Instrument bundle of the cardinality service.
+
+    Per-verb children are pre-resolved into dicts keyed by the verb
+    names in :data:`SERVE_VERBS`, so the connection hot path does plain
+    ``requests["estimate"].inc()`` attribute work — no registry or
+    label lookups per frame. Error counters are resolved lazily by
+    numeric code (errors are rare; a dict-miss there is fine).
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        requests = registry.counter(
+            "repro_serve_requests_total",
+            "Requests decoded, by verb",
+            labels=("verb",),
+        )
+        latency = registry.histogram(
+            "repro_serve_request_seconds",
+            "Request latency from frame decode to response write, by verb",
+            labels=("verb",),
+            buckets=LATENCY_BUCKETS,
+        )
+        self.requests = {verb: requests.labels(verb=verb) for verb in SERVE_VERBS}
+        self.latency = {verb: latency.labels(verb=verb) for verb in SERVE_VERBS}
+        self._errors = registry.counter(
+            "repro_serve_errors_total",
+            "Error frames sent, by protocol error code",
+            labels=("code",),
+        )
+        self.in_flight = registry.gauge(
+            "repro_serve_in_flight",
+            "Requests currently being served",
+        )
+        self.connections = registry.gauge(
+            "repro_serve_connections",
+            "Client connections currently open",
+        )
+        self.connections_total = registry.counter(
+            "repro_serve_connections_total",
+            "Client connections accepted since start",
+        )
+        self.bytes_read = registry.counter(
+            "repro_serve_bytes_read_total",
+            "Request bytes received from clients",
+        )
+        self.bytes_written = registry.counter(
+            "repro_serve_bytes_written_total",
+            "Response bytes written to clients",
+        )
+        self.tenants = registry.gauge(
+            "repro_serve_tenants",
+            "Tenants currently materialized in the registry",
+        )
+
+    def error(self, code: int) -> None:
+        """Count one error frame by protocol error code."""
+        self._errors.labels(code=str(code)).inc()
 
 
 class SMBObserver:

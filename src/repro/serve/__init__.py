@@ -1,0 +1,32 @@
+"""``repro.serve`` — the network serving layer.
+
+The first subsystem above the process boundary: an ``asyncio`` TCP
+server (:mod:`~repro.serve.server`) speaking a binary length-prefixed
+frame protocol (:mod:`~repro.serve.protocol`) over a multi-tenant
+estimator registry (:mod:`~repro.serve.tenants`), with a pipelining
+client (:mod:`~repro.serve.client`), a load generator that doubles as
+the concurrency test harness (:mod:`~repro.serve.loadgen`), and the
+``repro serve`` command (:mod:`~repro.serve.cli`). Protocol spec and
+deployment notes live in ``docs/serving.md``.
+
+Importing this package registers
+:class:`~repro.serve.tenants.TenantRegistry` with the checkpoint layer,
+so server snapshots ride the engine's atomic generation machinery.
+"""
+
+from repro.serve.client import RetryingClient, ServeClient, ServeError
+from repro.serve.protocol import FrameDecoder, ProtocolError
+from repro.serve.server import CardinalityServer
+from repro.serve.tenants import TenantConfig, TenantLimitError, TenantRegistry
+
+__all__ = [
+    "CardinalityServer",
+    "FrameDecoder",
+    "ProtocolError",
+    "RetryingClient",
+    "ServeClient",
+    "ServeError",
+    "TenantConfig",
+    "TenantLimitError",
+    "TenantRegistry",
+]

@@ -1,0 +1,345 @@
+"""Load generator / benchmark driver of the cardinality service.
+
+Drives a running server through the real wire protocol with pipelined
+connections, in two phases:
+
+1. **record** — each connection streams RECORD frames round-robin over
+   the tenant set, with per-(tenant, connection) disjoint key ranges so
+   the exact distinct count per tenant is known in closed form;
+2. **estimate** — each connection fires pipelined ESTIMATE bursts,
+   measuring throughput and per-request latency (send-to-response,
+   queueing inside a pipeline window included).
+
+Between the phases a CHECKPOINT drains every pipeline, so the accuracy
+check compares fully-applied estimates against the exact oracle. The
+result dictionary is what ``tools/bench_snapshot.py --serve-out``
+wraps into ``BENCH_serve.json``, and the whole module doubles as the
+serve test suite's concurrency harness (the integration tests call
+:func:`run_load` in-process against an ephemeral server).
+
+Latency numbers are *client-observed*: they include the event loop and
+pipeline-window queueing on both sides, which is what a deployed
+caller experiences. QPS is wall-clock aggregate across connections.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.serve import protocol
+from repro.serve.client import ServeClient
+from repro.serve.protocol import Estimate, FrameDecoder, Record, encode_request
+
+__all__ = ["main", "run_load"]
+
+#: Keys of tenant ``t`` / connection ``c`` start at
+#: ``((t * connections + c) + 1) << KEY_SPACE_SHIFT`` — 2^33 per lane
+#: keeps every lane disjoint up to 8G keys each.
+KEY_SPACE_SHIFT = 33
+
+
+def _tenant_name(index: int) -> str:
+    return f"tenant-{index:03d}"
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * len(sorted_values))
+    )
+    return sorted_values[index]
+
+
+async def _record_phase(
+    host: str,
+    port: int,
+    connections: int,
+    tenants: int,
+    frames_per_connection: int,
+    batch_size: int,
+    window: int,
+) -> tuple[int, float]:
+    """Stream RECORD frames; returns (total keys, elapsed seconds)."""
+
+    async def one_connection(conn_index: int) -> int:
+        reader, writer = await asyncio.open_connection(host, port)
+        decoder = FrameDecoder()
+        sent = 0
+        acked = 0
+        keys_sent = 0
+        next_key = {}
+        try:
+            while sent < frames_per_connection:
+                burst = min(window, frames_per_connection - sent)
+                payload = bytearray()
+                for __ in range(burst):
+                    tenant_index = sent % tenants
+                    lane = tenant_index * connections + conn_index
+                    start = next_key.setdefault(
+                        tenant_index, (lane + 1) << KEY_SPACE_SHIFT
+                    )
+                    batch = np.arange(
+                        start, start + batch_size, dtype=np.uint64
+                    )
+                    next_key[tenant_index] = start + batch_size
+                    payload += encode_request(
+                        Record(_tenant_name(tenant_index), batch)
+                    )
+                    keys_sent += batch_size
+                    sent += 1
+                writer.write(bytes(payload))
+                await writer.drain()
+                while acked < sent:
+                    chunk = await reader.read(1 << 16)
+                    if not chunk:
+                        raise ConnectionResetError(
+                            "server closed during record phase"
+                        )
+                    for body in decoder.feed(chunk):
+                        response = protocol.decode_response(body)
+                        if isinstance(response, protocol.Error):
+                            raise RuntimeError(
+                                f"RECORD failed: {response.code} "
+                                f"{response.message}"
+                            )
+                        acked += 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        return keys_sent
+
+    began = time.perf_counter()
+    totals = await asyncio.gather(
+        *(one_connection(index) for index in range(connections))
+    )
+    return sum(totals), time.perf_counter() - began
+
+
+async def _estimate_phase(
+    host: str,
+    port: int,
+    connections: int,
+    tenants: int,
+    requests_per_connection: int,
+    window: int,
+) -> tuple[int, float, list[float]]:
+    """Fire pipelined ESTIMATEs; returns (count, seconds, latencies)."""
+
+    async def one_connection(conn_index: int) -> list[float]:
+        reader, writer = await asyncio.open_connection(host, port)
+        decoder = FrameDecoder()
+        # Pre-encode one frame per tenant; the hot loop only concatenates.
+        frames = [
+            encode_request(Estimate(_tenant_name(index)))
+            for index in range(tenants)
+        ]
+        latencies: list[float] = []
+        sent = 0
+        answered = 0
+        try:
+            while answered < requests_per_connection:
+                burst = min(window, requests_per_connection - sent)
+                if burst > 0:
+                    payload = b"".join(
+                        frames[(sent + offset) % tenants]
+                        for offset in range(burst)
+                    )
+                    sent_at = time.perf_counter()
+                    writer.write(payload)
+                    await writer.drain()
+                    sent += burst
+                target = sent
+                while answered < target:
+                    chunk = await reader.read(1 << 16)
+                    if not chunk:
+                        raise ConnectionResetError(
+                            "server closed during estimate phase"
+                        )
+                    now = time.perf_counter()
+                    for body in decoder.feed(chunk):
+                        response = protocol.decode_response(body)
+                        if isinstance(response, protocol.Error):
+                            raise RuntimeError(
+                                f"ESTIMATE failed: {response.code} "
+                                f"{response.message}"
+                            )
+                        latencies.append(now - sent_at)
+                        answered += 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        return latencies
+
+    began = time.perf_counter()
+    per_connection = await asyncio.gather(
+        *(one_connection(index) for index in range(connections))
+    )
+    elapsed = time.perf_counter() - began
+    latencies = [value for chunk in per_connection for value in chunk]
+    return len(latencies), elapsed, latencies
+
+
+async def run_load(
+    host: str,
+    port: int,
+    tenants: int = 4,
+    connections: int = 4,
+    record_frames: int = 64,
+    batch_size: int = 8192,
+    estimate_requests: int = 5000,
+    window: int = 64,
+) -> dict:
+    """Run both phases against a live server; returns the result doc.
+
+    ``record_frames`` / ``estimate_requests`` are per connection. The
+    accuracy section compares each tenant's post-drain estimate with
+    the exact distinct count implied by the disjoint key lanes.
+    """
+    if tenants < 1 or connections < 1:
+        raise ValueError("tenants and connections must be >= 1")
+    record_keys, record_seconds = await _record_phase(
+        host, port, connections, tenants, record_frames, batch_size, window
+    )
+    control = await ServeClient.connect(host, port)
+    try:
+        # Drain everything so the accuracy check sees applied state.
+        # (CHECKPOINT needs a configured manager; STATS-only servers
+        # can't be driven by the benchmark, which always configures one.)
+        generation = await control.checkpoint()
+        # Exact oracle: every (tenant, connection) lane is disjoint.
+        frames_for = [
+            record_frames // tenants
+            + (1 if index < record_frames % tenants else 0)
+            for index in range(tenants)
+        ]
+        accuracy = []
+        for index in range(tenants):
+            exact = frames_for[index] * batch_size * connections
+            estimate = await control.estimate(_tenant_name(index))
+            if exact:
+                accuracy.append(abs(estimate - exact) / exact)
+        stats = await control.stats()
+    finally:
+        await control.close()
+    estimate_count, estimate_seconds, latencies = await _estimate_phase(
+        host, port, connections, tenants, estimate_requests, window
+    )
+    latencies.sort()
+    records = stats["records"]
+    return {
+        "config": {
+            "tenants": tenants,
+            "connections": connections,
+            "record_frames_per_connection": record_frames,
+            "batch_size": batch_size,
+            "estimate_requests_per_connection": estimate_requests,
+            "pipeline_window": window,
+        },
+        "record": {
+            "keys": record_keys,
+            "seconds": record_seconds,
+            "keys_per_second": (
+                record_keys / record_seconds if record_seconds else 0.0
+            ),
+        },
+        "estimate": {
+            "requests": estimate_count,
+            "seconds": estimate_seconds,
+            "qps": (
+                estimate_count / estimate_seconds
+                if estimate_seconds
+                else 0.0
+            ),
+            "latency_seconds": {
+                "p50": _percentile(latencies, 0.50),
+                "p90": _percentile(latencies, 0.90),
+                "p99": _percentile(latencies, 0.99),
+            },
+        },
+        "accuracy": {
+            "tenants": tenants,
+            "max_relative_error": max(accuracy) if accuracy else 0.0,
+        },
+        "server": {
+            "generation": generation,
+            "records_submitted": records["submitted"],
+            "records_applied": records["applied"],
+            "records_dropped": records["dropped"],
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.serve.loadgen`` — drive a running server."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-loadgen",
+        description="Benchmark a running repro cardinality server.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument(
+        "--record-frames", type=int, default=64,
+        help="RECORD frames per connection",
+    )
+    parser.add_argument("--batch-size", type=int, default=8192)
+    parser.add_argument(
+        "--estimate-requests", type=int, default=5000,
+        help="ESTIMATE requests per connection",
+    )
+    parser.add_argument("--window", type=int, default=64)
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full result document as JSON",
+    )
+    arguments = parser.parse_args(argv)
+    result = asyncio.run(
+        run_load(
+            arguments.host,
+            arguments.port,
+            tenants=arguments.tenants,
+            connections=arguments.connections,
+            record_frames=arguments.record_frames,
+            batch_size=arguments.batch_size,
+            estimate_requests=arguments.estimate_requests,
+            window=arguments.window,
+        )
+    )
+    if arguments.json:
+        json.dump(result, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        record = result["record"]
+        estimate = result["estimate"]
+        print(
+            f"record   {record['keys']:>12,} keys   "
+            f"{record['keys_per_second']:>14,.0f} keys/s"
+        )
+        print(
+            f"estimate {estimate['requests']:>12,} reqs   "
+            f"{estimate['qps']:>14,.0f} qps   "
+            f"p99 {estimate['latency_seconds']['p99'] * 1e3:.2f} ms"
+        )
+        print(
+            "accuracy max relative error "
+            f"{result['accuracy']['max_relative_error']:.4f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

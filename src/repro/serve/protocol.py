@@ -1,0 +1,489 @@
+"""Binary length-prefixed frame protocol of the cardinality service.
+
+One frame per request/response, built to be cheap to parse in a hot
+``asyncio`` loop and impossible to misparse: every frame is a 4-byte
+little-endian *body length* followed by exactly that many body bytes,
+the first of which names the verb. A connection is a strict FIFO of
+frames — responses come back in request order, so clients may pipeline
+arbitrarily many requests without tagging them.
+
+Frame layout (all integers little-endian)::
+
+    offset  size  field
+    0       4     u32 body length L (1 <= L <= max_frame)
+    4       1     u8 verb
+    5       L-1   verb-specific payload
+
+Request payloads:
+
+    RECORD (0x01)      u16 tenant length | tenant utf-8
+                       | u32 key count | count x u64 keys
+    ESTIMATE (0x02)    u16 tenant length | tenant utf-8
+    STATS (0x03)       (empty)
+    CHECKPOINT (0x04)  (empty)
+
+Response payloads:
+
+    RECORD_OK (0x81)      u64 accepted key count
+    ESTIMATE_OK (0x82)    f64 cardinality estimate
+    STATS_OK (0x83)       utf-8 JSON document
+    CHECKPOINT_OK (0x84)  u64 checkpoint generation number
+    ERROR (0xFF)          u16 error code | utf-8 message
+
+Validation is **strict**, the same discipline as the checkpoint
+container (:mod:`repro.engine.checkpoint`): a payload must be consumed
+*exactly* — truncated fields and trailing bytes raise
+:class:`ProtocolError` rather than decode into a silently-wrong
+message. The error taxonomy distinguishes recoverable frames from
+framing loss:
+
+- a well-framed body that fails to decode (unknown verb, garbage
+  payload) is answered with an :class:`Error` frame and the connection
+  continues — the length prefix was valid, so the stream cannot
+  desync;
+- a violated *frame* invariant (zero or oversized length prefix) means
+  the byte stream itself can no longer be trusted; the decoder raises
+  and the server closes the connection after one final error frame.
+
+The codec is dependency-light (``struct`` + NumPy for the key arrays)
+and shared verbatim by the server, the client and the load generator,
+so there is exactly one encoding of every message in the codebase.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+import numpy as np
+
+__all__ = [
+    "CHECKPOINT",
+    "CHECKPOINT_OK",
+    "DEFAULT_MAX_FRAME",
+    "ESTIMATE",
+    "ESTIMATE_OK",
+    "E_BAD_FRAME",
+    "E_BAD_PAYLOAD",
+    "E_INTERNAL",
+    "E_OVERLOADED",
+    "E_SHUTTING_DOWN",
+    "E_UNKNOWN_VERB",
+    "Checkpoint",
+    "CheckpointOk",
+    "Error",
+    "Estimate",
+    "EstimateOk",
+    "FrameDecoder",
+    "ProtocolError",
+    "RECORD",
+    "RECORD_OK",
+    "Record",
+    "RecordOk",
+    "Request",
+    "Response",
+    "STATS",
+    "STATS_OK",
+    "Stats",
+    "StatsOk",
+    "decode_request",
+    "decode_response",
+    "encode_error",
+    "encode_frame",
+    "encode_request",
+    "encode_response",
+]
+
+#: Hard ceiling on one frame body. Large enough for a 1M-key RECORD
+#: batch (8 MiB of keys) with headroom; small enough that a corrupted
+#: length prefix cannot make the decoder buffer gigabytes.
+DEFAULT_MAX_FRAME = 16 * 1024 * 1024
+
+#: Longest tenant name in utf-8 bytes.
+MAX_TENANT_BYTES = 255
+
+# Request verbs.
+RECORD = 0x01
+ESTIMATE = 0x02
+STATS = 0x03
+CHECKPOINT = 0x04
+
+# Response verbs (request verb | 0x80), plus the error frame.
+RECORD_OK = 0x81
+ESTIMATE_OK = 0x82
+STATS_OK = 0x83
+CHECKPOINT_OK = 0x84
+ERROR = 0xFF
+
+# Error codes carried by ERROR frames.
+E_BAD_FRAME = 1  #: frame invariant violated (length prefix); fatal
+E_UNKNOWN_VERB = 2  #: verb byte not in the catalog; connection survives
+E_BAD_PAYLOAD = 3  #: well-framed body failed strict decoding
+E_OVERLOADED = 4  #: backpressure rejected the request; retry later
+E_SHUTTING_DOWN = 5  #: server is draining; no new mutations accepted
+E_INTERNAL = 6  #: unexpected server-side failure
+
+_LENGTH = struct.Struct("<I")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+_ERROR_HEAD = struct.Struct("<H")
+
+
+class ProtocolError(ValueError):
+    """A frame or payload violated the protocol.
+
+    ``code`` is the :data:`E_BAD_FRAME`-family error code the server
+    should answer with; ``fatal`` is True when the *stream framing*
+    itself is compromised and the connection must close (a payload
+    error inside a well-framed body is not fatal — the next frame
+    still starts at a known offset).
+    """
+
+    def __init__(self, code: int, message: str, fatal: bool = False) -> None:
+        super().__init__(message)
+        self.code = int(code)
+        self.fatal = bool(fatal)
+
+
+# ----------------------------------------------------------------------
+# Message types
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Record:
+    """RECORD: ingest a batch of keys into one tenant's estimator."""
+
+    tenant: str
+    keys: np.ndarray = field(repr=False)  # uint64, C-contiguous
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """ESTIMATE: the tenant's current cardinality estimate (O(1))."""
+
+    tenant: str
+
+
+@dataclass(frozen=True)
+class Stats:
+    """STATS: server/tenant accounting plus a metrics snapshot."""
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """CHECKPOINT: drain to a safe point and persist one generation."""
+
+
+@dataclass(frozen=True)
+class RecordOk:
+    """Acknowledges a RECORD: every key of the batch was enqueued."""
+
+    accepted: int
+
+
+@dataclass(frozen=True)
+class EstimateOk:
+    """Carries one cardinality estimate."""
+
+    estimate: float
+
+
+@dataclass(frozen=True)
+class StatsOk:
+    """Carries the STATS JSON document (already parsed)."""
+
+    document: dict
+
+
+@dataclass(frozen=True)
+class CheckpointOk:
+    """Acknowledges a CHECKPOINT with the generation number written."""
+
+    generation: int
+
+
+@dataclass(frozen=True)
+class Error:
+    """An error response; ``code`` is one of the ``E_*`` constants."""
+
+    code: int
+    message: str
+
+
+Request = Union[Record, Estimate, Stats, Checkpoint]
+Response = Union[RecordOk, EstimateOk, StatsOk, CheckpointOk, Error]
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+
+def encode_frame(body: bytes) -> bytes:
+    """Wrap a body in its length prefix."""
+    if not body:
+        raise ProtocolError(E_BAD_FRAME, "frame body must be non-empty")
+    return _LENGTH.pack(len(body)) + body
+
+
+def _encode_tenant(tenant: str) -> bytes:
+    raw = tenant.encode("utf-8")
+    if not raw:
+        raise ProtocolError(E_BAD_PAYLOAD, "tenant name must be non-empty")
+    if len(raw) > MAX_TENANT_BYTES:
+        raise ProtocolError(
+            E_BAD_PAYLOAD,
+            f"tenant name too long ({len(raw)} > {MAX_TENANT_BYTES} bytes)",
+        )
+    return _U16.pack(len(raw)) + raw
+
+
+def encode_request(request: Request) -> bytes:
+    """One full frame (length prefix included) for a request."""
+    if isinstance(request, Record):
+        keys = np.ascontiguousarray(request.keys, dtype=np.uint64)
+        body = b"".join(
+            (
+                bytes([RECORD]),
+                _encode_tenant(request.tenant),
+                _U32.pack(keys.size),
+                keys.tobytes(),
+            )
+        )
+    elif isinstance(request, Estimate):
+        body = bytes([ESTIMATE]) + _encode_tenant(request.tenant)
+    elif isinstance(request, Stats):
+        body = bytes([STATS])
+    elif isinstance(request, Checkpoint):
+        body = bytes([CHECKPOINT])
+    else:
+        raise TypeError(f"not a request: {request!r}")
+    return encode_frame(body)
+
+
+def encode_response(response: Response) -> bytes:
+    """One full frame (length prefix included) for a response."""
+    if isinstance(response, RecordOk):
+        body = bytes([RECORD_OK]) + _U64.pack(response.accepted)
+    elif isinstance(response, EstimateOk):
+        body = bytes([ESTIMATE_OK]) + _F64.pack(response.estimate)
+    elif isinstance(response, StatsOk):
+        import json
+
+        body = bytes([STATS_OK]) + json.dumps(
+            response.document, sort_keys=True
+        ).encode("utf-8")
+    elif isinstance(response, CheckpointOk):
+        body = bytes([CHECKPOINT_OK]) + _U64.pack(response.generation)
+    elif isinstance(response, Error):
+        body = (
+            bytes([ERROR])
+            + _ERROR_HEAD.pack(response.code)
+            + response.message.encode("utf-8")
+        )
+    else:
+        raise TypeError(f"not a response: {response!r}")
+    return encode_frame(body)
+
+
+def encode_error(code: int, message: str) -> bytes:
+    """Shorthand for ``encode_response(Error(code, message))``."""
+    return encode_response(Error(code, message))
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+
+def _decode_tenant(payload: memoryview, offset: int) -> tuple[str, int]:
+    """Decode one length-prefixed tenant name; returns (name, offset)."""
+    if len(payload) < offset + _U16.size:
+        raise ProtocolError(E_BAD_PAYLOAD, "truncated tenant length")
+    (length,) = _U16.unpack_from(payload, offset)
+    offset += _U16.size
+    if length == 0:
+        raise ProtocolError(E_BAD_PAYLOAD, "tenant name must be non-empty")
+    if length > MAX_TENANT_BYTES:
+        raise ProtocolError(
+            E_BAD_PAYLOAD,
+            f"tenant name too long ({length} > {MAX_TENANT_BYTES} bytes)",
+        )
+    raw = bytes(payload[offset:offset + length])
+    if len(raw) != length:
+        raise ProtocolError(E_BAD_PAYLOAD, "truncated tenant name")
+    try:
+        tenant = raw.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ProtocolError(
+            E_BAD_PAYLOAD, "tenant name is not valid utf-8"
+        ) from error
+    return tenant, offset + length
+
+
+def _exactly_consumed(payload: memoryview, offset: int) -> None:
+    if offset != len(payload):
+        raise ProtocolError(
+            E_BAD_PAYLOAD,
+            f"trailing bytes after payload ({len(payload) - offset})",
+        )
+
+
+def decode_request(body: bytes | memoryview) -> Request:
+    """Strictly decode one request body (no length prefix).
+
+    Raises :class:`ProtocolError` (non-fatal) for an unknown verb or a
+    payload that is truncated, malformed, or carries trailing bytes.
+    The ``keys`` array of a decoded :class:`Record` owns its memory —
+    callers may hand it to another thread even when ``body`` aliases a
+    reusable receive buffer.
+    """
+    payload = memoryview(body)
+    if not len(payload):
+        raise ProtocolError(E_BAD_PAYLOAD, "empty frame body")
+    verb = payload[0]
+    if verb == ESTIMATE:
+        tenant, offset = _decode_tenant(payload, 1)
+        _exactly_consumed(payload, offset)
+        return Estimate(tenant)
+    if verb == RECORD:
+        tenant, offset = _decode_tenant(payload, 1)
+        if len(payload) < offset + _U32.size:
+            raise ProtocolError(E_BAD_PAYLOAD, "truncated key count")
+        (count,) = _U32.unpack_from(payload, offset)
+        offset += _U32.size
+        expected = count * 8
+        if len(payload) - offset != expected:
+            raise ProtocolError(
+                E_BAD_PAYLOAD,
+                f"key payload is {len(payload) - offset} bytes, "
+                f"expected {expected} for {count} keys",
+            )
+        # frombuffer would alias the caller's (mutable, reusable)
+        # receive buffer; copy so the batch can cross threads safely.
+        keys = np.frombuffer(
+            payload, dtype="<u8", count=count, offset=offset
+        ).astype(np.uint64, copy=True)
+        return Record(tenant, keys)
+    if verb == STATS:
+        _exactly_consumed(payload, 1)
+        return Stats()
+    if verb == CHECKPOINT:
+        _exactly_consumed(payload, 1)
+        return Checkpoint()
+    raise ProtocolError(E_UNKNOWN_VERB, f"unknown request verb 0x{verb:02x}")
+
+
+def decode_response(body: bytes | memoryview) -> Response:
+    """Strictly decode one response body (no length prefix)."""
+    payload = memoryview(body)
+    if not len(payload):
+        raise ProtocolError(E_BAD_PAYLOAD, "empty frame body")
+    verb = payload[0]
+    if verb == ESTIMATE_OK:
+        if len(payload) != 1 + _F64.size:
+            raise ProtocolError(E_BAD_PAYLOAD, "malformed ESTIMATE_OK")
+        return EstimateOk(_F64.unpack_from(payload, 1)[0])
+    if verb == RECORD_OK:
+        if len(payload) != 1 + _U64.size:
+            raise ProtocolError(E_BAD_PAYLOAD, "malformed RECORD_OK")
+        return RecordOk(_U64.unpack_from(payload, 1)[0])
+    if verb == CHECKPOINT_OK:
+        if len(payload) != 1 + _U64.size:
+            raise ProtocolError(E_BAD_PAYLOAD, "malformed CHECKPOINT_OK")
+        return CheckpointOk(_U64.unpack_from(payload, 1)[0])
+    if verb == STATS_OK:
+        import json
+
+        try:
+            document = json.loads(bytes(payload[1:]).decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise ProtocolError(
+                E_BAD_PAYLOAD, "STATS_OK payload is not JSON"
+            ) from error
+        if not isinstance(document, dict):
+            raise ProtocolError(E_BAD_PAYLOAD, "STATS_OK JSON is not an object")
+        return StatsOk(document)
+    if verb == ERROR:
+        if len(payload) < 1 + _ERROR_HEAD.size:
+            raise ProtocolError(E_BAD_PAYLOAD, "truncated ERROR frame")
+        (code,) = _ERROR_HEAD.unpack_from(payload, 1)
+        try:
+            message = bytes(payload[1 + _ERROR_HEAD.size:]).decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(
+                E_BAD_PAYLOAD, "ERROR message is not valid utf-8"
+            ) from error
+        return Error(code, message)
+    raise ProtocolError(E_UNKNOWN_VERB, f"unknown response verb 0x{verb:02x}")
+
+
+class FrameDecoder:
+    """Incremental frame splitter over a byte stream.
+
+    Feed it arbitrary chunks; it yields complete frame *bodies* (as
+    ``bytes``) and buffers the remainder. A zero or oversized length
+    prefix raises a **fatal** :class:`ProtocolError`: past that point
+    the stream offset of the next frame is unknowable, so the caller
+    must close the connection. Truncation is not an error while the
+    stream is live (more bytes may arrive); at EOF, call
+    :meth:`check_eof` to reject a partial trailing frame.
+    """
+
+    __slots__ = ("_buffer", "_max_frame")
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        if max_frame < 1:
+            raise ValueError(f"max_frame must be >= 1, got {max_frame}")
+        self._buffer = bytearray()
+        self._max_frame = int(max_frame)
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently buffered (an incomplete trailing frame)."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> Iterator[bytes]:
+        """Buffer ``data`` and yield every now-complete frame body."""
+        self._buffer += data
+        view = memoryview(self._buffer)
+        offset = 0
+        try:
+            while len(view) - offset >= _LENGTH.size:
+                (length,) = _LENGTH.unpack_from(view, offset)
+                if length == 0:
+                    raise ProtocolError(
+                        E_BAD_FRAME, "zero-length frame", fatal=True
+                    )
+                if length > self._max_frame:
+                    raise ProtocolError(
+                        E_BAD_FRAME,
+                        f"frame of {length} bytes exceeds the "
+                        f"{self._max_frame}-byte limit",
+                        fatal=True,
+                    )
+                if len(view) - offset - _LENGTH.size < length:
+                    break  # incomplete: wait for more bytes
+                start = offset + _LENGTH.size
+                yield bytes(view[start:start + length])
+                offset = start + length
+        finally:
+            # Always drop fully-consumed bytes, even when the caller
+            # abandons the iterator mid-way or a fatal error unwinds.
+            view.release()
+            if offset:
+                del self._buffer[:offset]
+
+    def check_eof(self) -> None:
+        """Raise (fatal) if the stream ended inside a frame."""
+        if self._buffer:
+            raise ProtocolError(
+                E_BAD_FRAME,
+                f"stream ended mid-frame ({len(self._buffer)} "
+                "buffered bytes)",
+                fatal=True,
+            )

@@ -35,6 +35,16 @@ The module also owns two observability-related validators/writers:
   baseline and records both modes plus the overhead criteria
   (disabled < 2% regression, enabled < 5%), which
   ``tests/test_obs.py`` asserts as the overhead guard.
+
+And the serving-layer pair:
+
+- ``--serve-out BENCH_serve.json`` starts an in-process
+  :class:`repro.serve.CardinalityServer` on an ephemeral port, drives
+  it with :func:`repro.serve.loadgen.run_load` over real sockets, and
+  records the wire-level RECORD/ESTIMATE throughput next to the serve
+  PR's acceptance bars (ESTIMATE >= 50k QPS, RECORD >= 1M keys/s);
+- ``--check-serve FILE`` validates such a snapshot against
+  :func:`validate_serve_snapshot` — used by the CI serve-smoke job.
 """
 
 from __future__ import annotations
@@ -342,6 +352,152 @@ def validate_obs_snapshot(snapshot: object) -> list[str]:
     return errors
 
 
+# ----------------------------------------------------------------------
+# Serving-layer snapshot (``--serve-out`` → BENCH_serve.json)
+# ----------------------------------------------------------------------
+# The ``load`` section is the result document of
+# ``repro.serve.loadgen.run_load`` verbatim; the wrapper adds host
+# provenance and the serve PR's acceptance criteria.
+
+SERVE_SNAPSHOT_SCHEMA = {
+    "generated_by": str,
+    "python": str,
+    "numpy": str,
+    "estimator": str,
+    "load": {
+        "config": {
+            "tenants": "count",
+            "connections": "count",
+            "record_frames_per_connection": "count",
+            "batch_size": "count",
+            "estimate_requests_per_connection": "count",
+            "pipeline_window": "count",
+        },
+        "record": {
+            "keys": "count",
+            "seconds": "count",
+            "keys_per_second": "count",
+        },
+        "estimate": {
+            "requests": "count",
+            "seconds": "count",
+            "qps": "count",
+            "latency_seconds": {
+                "p50": "count",
+                "p90": "count",
+                "p99": "count",
+            },
+        },
+        "accuracy": {"tenants": "count", "max_relative_error": "count"},
+        "server": {
+            "generation": "count",
+            "records_submitted": "count",
+            "records_applied": "count",
+            "records_dropped": "count",
+        },
+    },
+    "criteria": {
+        "min_estimate_qps": "number",
+        "min_record_keys_per_second": "number",
+        "pass": bool,
+    },
+}
+
+MIN_ESTIMATE_QPS = 50_000.0
+MIN_RECORD_KEYS_PER_SECOND = 1_000_000.0
+
+
+def validate_serve_snapshot(snapshot: object) -> list[str]:
+    """Validate a BENCH_serve.json dict; returns a list of problems."""
+    errors: list[str] = []
+    _check(snapshot, SERVE_SNAPSHOT_SCHEMA, "snapshot", errors)
+    return errors
+
+
+def bench_serve(scale: float) -> dict:
+    """Socket-level load run against a fresh in-process server."""
+    import asyncio
+    import tempfile
+
+    from repro.engine.recovery import CheckpointManager
+    from repro.serve import CardinalityServer, TenantConfig
+    from repro.serve.loadgen import run_load
+
+    record_frames = max(8, int(64 * scale))
+    estimate_requests = max(500, int(5000 * scale))
+
+    async def drive() -> dict:
+        with tempfile.TemporaryDirectory() as scratch:
+            server = CardinalityServer(
+                TenantConfig(estimator="SMB", memory_bits=MEMORY_BITS),
+                checkpoint_manager=CheckpointManager(
+                    Path(scratch) / "ckpts", sync_directory=False
+                ),
+            )
+            host, port = await server.start("127.0.0.1", 0)
+            try:
+                return await run_load(
+                    host,
+                    port,
+                    tenants=4,
+                    connections=4,
+                    record_frames=record_frames,
+                    batch_size=8192,
+                    estimate_requests=estimate_requests,
+                )
+            finally:
+                await server.stop()
+
+    return asyncio.run(drive())
+
+
+def _write_serve_snapshot(out: Path) -> int:
+    """Benchmark the serving layer and write BENCH_serve.json."""
+    load = bench_serve(repro_scale(1.0))
+    snapshot = {
+        "generated_by": "tools/bench_snapshot.py",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "estimator": "SMB",
+        "load": load,
+        "criteria": {
+            "min_estimate_qps": MIN_ESTIMATE_QPS,
+            "min_record_keys_per_second": MIN_RECORD_KEYS_PER_SECOND,
+            "pass": (
+                load["estimate"]["qps"] >= MIN_ESTIMATE_QPS
+                and load["record"]["keys_per_second"]
+                >= MIN_RECORD_KEYS_PER_SECOND
+            ),
+        },
+    }
+
+    problems = validate_serve_snapshot(snapshot)
+    if problems:
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        print("refusing to write a snapshot that fails its own schema")
+        return 1
+
+    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(
+        f"  record   {load['record']['keys_per_second']:>14,.0f} keys/s "
+        f"(bar {MIN_RECORD_KEYS_PER_SECOND:,.0f})"
+    )
+    print(
+        f"  estimate {load['estimate']['qps']:>14,.0f} qps    "
+        f"(bar {MIN_ESTIMATE_QPS:,.0f}), "
+        f"p99 {load['estimate']['latency_seconds']['p99'] * 1e3:.2f} ms"
+    )
+    print(
+        "  accuracy max relative error "
+        f"{load['accuracy']['max_relative_error']:.4f}"
+    )
+    if not snapshot["criteria"]["pass"]:
+        print("WARNING: serving throughput below the acceptance bars")
+    return 0
+
+
 def bench_obs(items: np.ndarray, baseline_mdps: float) -> dict:
     """SMB recording throughput with metrics disabled vs enabled.
 
@@ -593,6 +749,19 @@ def main(argv: list[str] | None = None) -> int:
             "then exit"
         ),
     )
+    parser.add_argument(
+        "--serve-out",
+        metavar="FILE",
+        help=(
+            "benchmark the network serving layer against an in-process "
+            "server and write the snapshot (BENCH_serve.json), then exit"
+        ),
+    )
+    parser.add_argument(
+        "--check-serve",
+        metavar="FILE",
+        help="validate a BENCH_serve.json snapshot and exit",
+    )
     args = parser.parse_args(argv)
 
     if args.check is not None:
@@ -611,8 +780,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{args.check_metrics}: {'INVALID' if problems else 'ok'}")
         return 1 if problems else 0
 
+    if args.check_serve is not None:
+        problems = validate_serve_snapshot(
+            json.loads(Path(args.check_serve).read_text())
+        )
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        print(f"{args.check_serve}: {'INVALID' if problems else 'ok'}")
+        return 1 if problems else 0
+
     if args.obs_out is not None:
         return _write_obs_snapshot(Path(args.obs_out))
+
+    if args.serve_out is not None:
+        return _write_serve_snapshot(Path(args.serve_out))
 
     scale = repro_scale(1.0)
     stream_items = max(10_000, int(1_000_000 * scale))
