@@ -390,11 +390,22 @@ class SelfMorphingBitmap(CardinalityEstimator):
     # ------------------------------------------------------------------
     def query(self) -> float:
         self.bits_accessed += 32  # the paper's accounting: read r and v
-        if self.saturated:
+        # Snapshot the counters once. A lock-light concurrent reader
+        # (the serving layer's ESTIMATE path) may race a morph, whose
+        # writer does `r += 1; v = 0`: re-reading the attributes (the
+        # old `saturated` / `logical_bits` property chain) could pass
+        # the saturation check with one (r, v) pair and then evaluate
+        # ln(1 - v/m_r) with a mixed pair whose argument is <= 0. One
+        # snapshot makes the check and the formula agree: v < m_r holds
+        # below, so the log argument stays positive — a torn pair costs
+        # at most one round of transient bias, never an exception.
+        r = self.r
+        v = self.v
+        if r * self.T + v >= self.m:  # saturated under this snapshot
             return self.max_estimate()
-        m_r = self.logical_bits
-        return float(self._s[self.r]) - math.ldexp(self.m, self.r) * math.log(
-            1.0 - self.v / m_r
+        m_r = self.m - r * self.T
+        return float(self._s[r]) - math.ldexp(self.m, r) * math.log(
+            1.0 - v / m_r
         )
 
     def estimate_at(self, r: int, v: int) -> float:

@@ -117,8 +117,16 @@ class _IngestGate:
             while self._writer:
                 await self._condition.wait()
             self._writer = True
-            while self._readers:
-                await self._condition.wait()
+            try:
+                while self._readers:
+                    await self._condition.wait()
+            except asyncio.CancelledError:
+                # Cancelled while waiting out readers (a client can
+                # vanish mid-CHECKPOINT): roll the claim back, or every
+                # future writer *and reader* would block forever.
+                self._writer = False
+                self._condition.notify_all()
+                raise
 
     async def release_write(self) -> None:
         async with self._condition:
@@ -213,7 +221,17 @@ class _Connection(asyncio.Protocol):
         try:
             while self._backlog:
                 body = self._backlog.popleft()
-                response = await self._server.handle(body)
+                try:
+                    response = await self._server.handle(body)
+                except Exception as error:
+                    # An unexpected handler failure must not kill the
+                    # drain task: the stranded frames would never be
+                    # answered while later fast verbs are served inline
+                    # ahead of them, breaking FIFO for pipelining
+                    # clients. Answer E_INTERNAL and keep draining.
+                    response = self._server._error(
+                        protocol.E_INTERNAL, f"internal error: {error!r}"
+                    )
                 self._write(response)
                 self._maybe_resume()
         finally:
@@ -221,6 +239,11 @@ class _Connection(asyncio.Protocol):
             # so data_received cannot have parked a frame that nobody
             # will drain.
             self._worker = None
+            if self._backlog and self.transport is not None:
+                # Exited with frames still parked (cancellation or a
+                # non-Exception failure): responses can no longer be
+                # delivered in order, so hang up rather than desync.
+                self.transport.close()
             self._maybe_resume()
 
 
@@ -306,6 +329,21 @@ class CardinalityServer:
                         "checkpoint directory holds a "
                         f"{type(restored).__name__}, not a TenantRegistry"
                     )
+                if (
+                    restored.config.canonical_json()
+                    != self.config.canonical_json()
+                ):
+                    # Adopting the checkpoint's config would silently
+                    # ignore the server's sizing flags; keeping the
+                    # server's would mis-describe the restored pools.
+                    raise RecoveryError(
+                        "checkpointed tenant config does not match the "
+                        f"server's: checkpoint has "
+                        f"{restored.config.canonical_json()}, server "
+                        f"configured {self.config.canonical_json()}; "
+                        "restart with matching sizing flags or point at "
+                        "a fresh checkpoint directory"
+                    )
                 self.registry = restored
                 self.last_generation = generation.generation
         self._listener = await self._loop.create_server(
@@ -387,14 +425,22 @@ class CardinalityServer:
     def _respond_fast(
         self, request: Estimate | Stats, began: float
     ) -> bytes:
-        if isinstance(request, Estimate):
-            response = encode_response(
-                EstimateOk(self.registry.estimate(request.tenant))
-            )
-            verb = "estimate"
-        else:
-            response = encode_response(StatsOk(self.stats_document()))
-            verb = "stats"
+        try:
+            if isinstance(request, Estimate):
+                response = encode_response(
+                    EstimateOk(self.registry.estimate(request.tenant))
+                )
+                verb = "estimate"
+            else:
+                response = encode_response(StatsOk(self.stats_document()))
+                verb = "stats"
+        except Exception as error:
+            # The lock-light fast path reads estimator state that
+            # pipeline workers mutate concurrently; an exception here
+            # (however unlikely — SMB.query snapshots its counters)
+            # must become an error *frame*, not escape data_received
+            # and tear the connection down.
+            return self._error(protocol.E_INTERNAL, f"query failed: {error!r}")
         metrics = self.metrics
         if metrics is not None:
             metrics.requests[verb].inc()
@@ -436,6 +482,13 @@ class CardinalityServer:
             return self._error(
                 protocol.E_SHUTTING_DOWN, "server is draining"
             )
+        # Shielded: a client disconnect cancels its backlog worker, but
+        # the submit keeps running in the executor regardless — the gate
+        # must stay held until it finishes, or a concurrent CHECKPOINT
+        # could capture a half-enqueued chunk.
+        return await asyncio.shield(self._record_gated(request))
+
+    async def _record_gated(self, request: Record) -> bytes:
         await self._gate.acquire_read()
         try:
             try:
@@ -443,12 +496,15 @@ class CardinalityServer:
             except TenantLimitError as error:
                 return self._error(protocol.E_OVERLOADED, str(error))
             try:
-                await self._loop.run_in_executor(
+                accepted = await self._loop.run_in_executor(
                     None, pipeline.submit, request.keys
                 )
             except RuntimeError as error:
                 return self._error(protocol.E_INTERNAL, str(error))
-            return encode_response(RecordOk(int(request.keys.size)))
+            # Acknowledge what the pipeline actually enqueued, not what
+            # the client sent — they differ when sub-batches are dropped
+            # (worker failure, fault injection).
+            return encode_response(RecordOk(int(accepted)))
         finally:
             await self._gate.release_read()
 
@@ -463,6 +519,13 @@ class CardinalityServer:
             return self._error(
                 protocol.E_SHUTTING_DOWN, "server is draining"
             )
+        # Shielded: cancellation mid-checkpoint (client disconnect) must
+        # not release the exclusive gate while the save still runs in
+        # the executor — the drain/save/release sequence is atomic with
+        # respect to connection lifetime.
+        return await asyncio.shield(self._checkpoint_gated())
+
+    async def _checkpoint_gated(self) -> bytes:
         await self._gate.acquire_write()
         try:
             generation = await self._loop.run_in_executor(

@@ -22,17 +22,19 @@ No pytest-asyncio in the toolchain: each test wraps its coroutine in
 
 import asyncio
 import struct
+import time
 
 import numpy as np
 import pytest
 
 from repro.core.theory import smb_error_bound
 from repro.core.tuning import optimal_threshold
-from repro.engine.recovery import CheckpointManager, RetryPolicy
+from repro.engine.pipeline import IngestPipeline
+from repro.engine.recovery import CheckpointManager, RecoveryError, RetryPolicy
 from repro.serve import protocol
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.loadgen import run_load
-from repro.serve.server import CardinalityServer
+from repro.serve.server import CardinalityServer, _IngestGate
 from repro.serve.tenants import TenantConfig, TenantRegistry
 
 MEMORY_BITS = 5000
@@ -274,6 +276,198 @@ def test_stats_document_shape():
 
 
 # ----------------------------------------------------------------------
+# Cancellation vs the ingest gate (client disconnect mid-verb)
+# ----------------------------------------------------------------------
+
+def test_ingest_gate_survives_cancelled_writer():
+    """A writer cancelled while waiting out readers must roll back.
+
+    Regression: ``acquire_write`` used to set ``_writer`` before
+    awaiting in-flight readers; cancellation at that await left the
+    claim in place forever, deadlocking every later RECORD, CHECKPOINT
+    and ``stop()``.
+    """
+
+    async def scenario():
+        gate = _IngestGate()
+        await gate.acquire_read()
+        writer = asyncio.create_task(gate.acquire_write())
+        await asyncio.sleep(0)  # writer claims the gate, parks on readers
+        await asyncio.sleep(0)
+        writer.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await writer
+        await gate.release_read()
+        # The gate must be fully usable afterwards, in both directions.
+        await asyncio.wait_for(gate.acquire_write(), timeout=2.0)
+        await gate.release_write()
+        await asyncio.wait_for(gate.acquire_read(), timeout=2.0)
+        await gate.release_read()
+
+    asyncio.run(scenario())
+
+
+def test_cancelled_checkpoint_does_not_wedge_the_gate(
+    tmp_path, monkeypatch
+):
+    """Cancelling a CHECKPOINT parked behind a RECORD leaves no debris.
+
+    The per-connection worker is cancelled when a client disconnects
+    mid-verb; the exclusive side of the gate (and the checkpoint work
+    itself) must survive that and keep serving everyone else.
+    """
+    real_submit = IngestPipeline.submit
+
+    def slow_submit(self, items):
+        time.sleep(0.3)  # hold the read gate long enough to race
+        return real_submit(self, items)
+
+    monkeypatch.setattr(IngestPipeline, "submit", slow_submit)
+
+    def body_of(request) -> bytes:
+        (body,) = protocol.FrameDecoder().feed(
+            protocol.encode_request(request)
+        )
+        return body
+
+    def response_of(framed: bytes):
+        (body,) = protocol.FrameDecoder().feed(framed)
+        return protocol.decode_response(body)
+
+    async def scenario():
+        server = CardinalityServer(
+            make_config(), checkpoint_manager=manager(tmp_path)
+        )
+        await server.start("127.0.0.1", 0)
+        try:
+            record = server._loop.create_task(
+                server.handle(
+                    body_of(
+                        protocol.Record(
+                            "alpha", np.arange(64, dtype=np.uint64)
+                        )
+                    )
+                )
+            )
+            await asyncio.sleep(0.05)  # RECORD holds the read gate
+            checkpoint = server._loop.create_task(
+                server.handle(body_of(protocol.Checkpoint()))
+            )
+            await asyncio.sleep(0.05)  # CHECKPOINT waits out the reader
+            checkpoint.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await checkpoint
+            assert isinstance(response_of(await record), protocol.RecordOk)
+            # The gate must not be wedged: a fresh CHECKPOINT completes.
+            answer = await asyncio.wait_for(
+                server.handle(body_of(protocol.Checkpoint())), timeout=5.0
+            )
+            assert isinstance(response_of(answer), protocol.CheckpointOk)
+        finally:
+            await asyncio.wait_for(server.stop(), timeout=10.0)
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Fault containment on both serving paths
+# ----------------------------------------------------------------------
+
+def test_unexpected_backlog_failure_answers_internal_in_order():
+    """An uncaught handler error must not strand the drain task.
+
+    Regression: an exception outside the anticipated types killed the
+    backlog worker silently — later frames were never answered while
+    new fast verbs jumped the queue, desynchronizing pipelined clients.
+    """
+
+    async def scenario():
+        server = CardinalityServer(make_config())
+        host, port = await start_server(server)
+
+        def boom(tenant):
+            raise ZeroDivisionError("synthetic pipeline failure")
+
+        server._pipeline = boom
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            # One pipelined burst: the RECORD parks the connection in
+            # backlog mode; every frame must still be answered, in order.
+            writer.write(
+                protocol.encode_request(
+                    protocol.Record("t", np.arange(8, dtype=np.uint64))
+                )
+            )
+            writer.write(protocol.encode_request(protocol.Estimate("t")))
+            writer.write(protocol.encode_request(protocol.Stats()))
+            await writer.drain()
+            decoder = protocol.FrameDecoder()
+            responses = []
+            while len(responses) < 3:
+                chunk = await reader.read(65536)
+                assert chunk, "server closed a recoverable connection"
+                responses.extend(
+                    protocol.decode_response(body)
+                    for body in decoder.feed(chunk)
+                )
+            writer.close()
+            return responses
+        finally:
+            await server.stop()
+
+    first, second, third = asyncio.run(scenario())
+    assert isinstance(first, protocol.Error)
+    assert first.code == protocol.E_INTERNAL
+    assert isinstance(second, protocol.EstimateOk)
+    assert isinstance(third, protocol.StatsOk)
+
+
+def test_estimate_failure_is_error_frame_not_disconnect():
+    """The inline fast path answers E_INTERNAL instead of tearing the
+    connection down when a concurrent-read anomaly raises."""
+
+    async def scenario():
+        server = CardinalityServer(make_config())
+        host, port = await start_server(server)
+
+        def torn_read(tenant):
+            raise ValueError("math domain error")
+
+        server.registry.estimate = torn_read
+        try:
+            async with await ServeClient.connect(host, port) as client:
+                with pytest.raises(ServeError) as caught:
+                    await client.estimate("t")
+                # Same connection keeps serving after the error frame.
+                stats = await client.stats()
+            return caught.value, stats
+        finally:
+            await server.stop()
+
+    error, stats = asyncio.run(scenario())
+    assert error.code == protocol.E_INTERNAL
+    assert stats["tenants"] == 0
+
+
+def test_record_ack_reports_pipeline_accepted_count(monkeypatch):
+    """RECORD acknowledges what the pipeline enqueued, not frame size."""
+    monkeypatch.setattr(IngestPipeline, "submit", lambda self, items: 7)
+
+    async def scenario():
+        server = CardinalityServer(make_config())
+        host, port = await start_server(server)
+        try:
+            async with await ServeClient.connect(host, port) as client:
+                return await client.record(
+                    "t", np.arange(64, dtype=np.uint64)
+                )
+        finally:
+            await server.stop()
+
+    assert asyncio.run(scenario()) == 7
+
+
+# ----------------------------------------------------------------------
 # Stop / resume
 # ----------------------------------------------------------------------
 
@@ -339,6 +533,36 @@ def test_resume_from_empty_directory_starts_fresh(tmp_path):
 
     generation, tenants = asyncio.run(scenario())
     assert generation == 0 and tenants == 0
+
+
+def test_resume_with_mismatched_config_is_refused(tmp_path):
+    """Resume must not silently ignore the server's sizing flags.
+
+    Regression: a restored registry replaced ``server.registry``
+    without comparing configs, so ``--memory-bits`` etc. appeared to
+    take effect while the checkpointed sizing actually governed.
+    """
+
+    async def first_run():
+        server = CardinalityServer(
+            make_config(), checkpoint_manager=manager(tmp_path)
+        )
+        await server.start("127.0.0.1", 0)
+        final = await server.stop()
+        assert final is not None
+
+    asyncio.run(first_run())
+
+    async def mismatched_resume():
+        server = CardinalityServer(
+            make_config(memory_bits=9000),
+            checkpoint_manager=manager(tmp_path),
+            resume=True,
+        )
+        with pytest.raises(RecoveryError, match="does not match"):
+            await server.start("127.0.0.1", 0)
+
+    asyncio.run(mismatched_resume())
 
 
 # ----------------------------------------------------------------------

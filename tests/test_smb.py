@@ -179,6 +179,28 @@ class TestSaturation:
         assert smb.r <= 3
         assert math.isfinite(smb.query())
 
+    def test_query_is_single_snapshot_under_racing_morph(self):
+        """query() must read (r, v) exactly once each.
+
+        The serving layer's lock-light ESTIMATE path can interleave
+        with a recorder's morph (``r += 1; v = 0``). Simulate the
+        reader-side view that used to crash: the saturation check sees
+        the pre-morph round, later reads see the advanced one, while v
+        still shows the pre-morph count — a multi-read query computed
+        ln(1 - 15/10) and raised ValueError. m=100, T=30 puts the
+        morph into the final partial round (m_r = 10 < v = 15).
+        """
+        r_reads = iter([2])  # first read pre-morph, every later read 3
+
+        class TornSMB(SelfMorphingBitmap):
+            r = property(lambda self: next(r_reads, 3))
+            v = property(lambda self: 15)
+
+        template = SelfMorphingBitmap(100, threshold=30, seed=0)
+        torn = TornSMB.__new__(TornSMB)
+        torn.__dict__.update(template.__dict__)
+        assert math.isfinite(torn.query())
+
     def test_max_estimate_exceeds_mrb(self):
         # §III-B: with component size T, SMB's range beats MRB's.
         m, t = 5000, 500
