@@ -1,22 +1,33 @@
-"""Engine scaling: shard-pool ingest throughput vs shard count.
+"""Engine scaling: shard-pool ingest throughput vs shard count and backend.
 
-Benchmarks the sharded ingestion engine (synchronous pool path and the
-concurrent pipeline path) for SMB and HLL++ across shard counts, and
-asserts the acceptance shape: at K=1 the pool adds no pathological
-overhead over the bare estimator's ``record_many`` (the single-shard
-partitioner is the identity and computes no routing hash at all).
+Benchmarks the sharded ingestion engine (synchronous pool path, the
+threaded pipeline path, and the process-worker pipeline path) for SMB
+and HLL++ across shard counts, and asserts the acceptance shape: at K=1
+the pool adds no pathological overhead over the bare estimator's
+``record_many`` (the single-shard partitioner is the identity and
+computes no routing hash at all).
 
-Runnable standalone for the per-shard-count report::
+Runnable standalone for the per-backend scaling report::
 
     PYTHONPATH=src python benchmarks/bench_engine_scaling.py
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py \\
+        --json scaling.json --items 1000000
 
-which prints records/sec per (estimator, shard count, path) — the
-acceptance-criteria table of the engine PR.
+which prints Mdps per (estimator, shard count, backend) and — with
+``--json`` — writes the same rows machine-readable, including the
+host's CPU count (scaling claims are meaningless without it). The
+multicore tentpole's snapshot tool, ``tools/bench_scaling.py``, builds
+on the same measurement helpers.
 """
+
+import argparse
+import json
+import os
+import time
 
 import pytest
 
-from repro.bench.runner import time_recording
+from repro.bench.runner import mdps, time_recording
 from repro.engine import IngestPipeline, ShardPool
 
 ESTIMATORS = ("SMB", "HLL++")
@@ -61,6 +72,23 @@ def test_pipeline_ingest(benchmark, name, num_shards, items_1m):
     )
 
 
+@pytest.mark.benchmark(group="engine-pipeline-ingest")
+@pytest.mark.parametrize("name", ESTIMATORS)
+def test_process_pipeline_ingest(benchmark, name, items_1m):
+    """The process-worker backend at 4 shards / 2 workers (startup
+    excluded from the measured region by pedantic setup)."""
+
+    def run(pool):
+        with IngestPipeline(pool, workers=2) as pipe:
+            pipe.submit(items_1m)
+
+    benchmark.pedantic(
+        run,
+        setup=lambda: ((make_pool(name, 4),), {}),
+        rounds=3,
+    )
+
+
 def test_single_shard_pool_matches_bare_estimator(items_1m):
     """Acceptance: K=1 pool ingest >= bare record_many, within noise.
 
@@ -91,39 +119,92 @@ def test_sharded_estimates_stay_additive(items_100k):
         assert pool.query() == pytest.approx(items_100k.size, rel=0.1)
 
 
-def main() -> int:
-    """Print records/sec per estimator, shard count and ingest path."""
+def time_pipeline(pool: ShardPool, items, workers: int = 0) -> float:
+    """Seconds for one pipeline ingest of ``items`` (drain included).
+
+    ``workers=0`` is the threaded backend; positive counts ingest
+    through that many shard worker processes. Worker startup happens
+    before the clock starts — the curves compare steady-state ingest,
+    not process spawn cost.
+    """
+    pipeline = IngestPipeline(pool, workers=workers)
+    try:
+        start = time.perf_counter()
+        pipeline.submit(items)
+        pipeline.drain()
+        return time.perf_counter() - start
+    finally:
+        pipeline.close()
+
+
+def measure_backends(items, estimators=ESTIMATORS, shard_counts=SHARD_COUNTS):
+    """Mdps per (estimator, shard count, backend) — the scaling rows.
+
+    Backends: ``pool`` (synchronous ``record_many``), ``thread`` (the
+    in-process pipeline) and ``process`` (one worker process per shard,
+    capped at the shard count).
+    """
+    rows = []
+    for name in estimators:
+        for num_shards in shard_counts:
+            sync_seconds = time_recording(make_pool(name, num_shards), items)
+            thread_seconds = time_pipeline(make_pool(name, num_shards), items)
+            process_seconds = time_pipeline(
+                make_pool(name, num_shards), items, workers=num_shards
+            )
+            rows.append({
+                "estimator": name,
+                "shards": num_shards,
+                "items": int(items.size),
+                "pool_mdps": round(mdps(items.size, sync_seconds), 3),
+                "thread_mdps": round(mdps(items.size, thread_seconds), 3),
+                "process_mdps": round(mdps(items.size, process_seconds), 3),
+            })
+    return rows
+
+
+def main(argv=None) -> int:
+    """Print Mdps per estimator, shard count and backend; optional JSON."""
     from repro.bench.reporting import format_table
-    from repro.bench.runner import mdps
     from repro.streams import distinct_items
 
-    items = distinct_items(1_000_000, seed=7)
+    parser = argparse.ArgumentParser(
+        description="Engine ingest throughput vs shard count and backend"
+    )
+    parser.add_argument(
+        "--items", type=int, default=1_000_000,
+        help="stream length per measurement (default: 1000000)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE",
+        help="also write the rows machine-readable to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    items = distinct_items(args.items, seed=7)
     # Warm NumPy's ufunc dispatch outside the measured region.
     make_pool("SMB", 2).record_many(items[:8192])
-    rows = []
-    for name in ESTIMATORS:
-        for num_shards in SHARD_COUNTS:
-            sync_seconds = time_recording(
-                make_pool(name, num_shards), items
-            )
-            pipeline_pool = make_pool(name, num_shards)
-            import time
-
-            start = time.perf_counter()
-            with IngestPipeline(pipeline_pool) as pipe:
-                pipe.submit(items)
-            pipeline_seconds = time.perf_counter() - start
-            rows.append([
-                name,
-                num_shards,
-                round(mdps(items.size, sync_seconds), 2),
-                round(mdps(items.size, pipeline_seconds), 2),
-            ])
+    rows = measure_backends(items)
     print(format_table(
-        ["estimator", "shards", "pool Mdps", "pipeline Mdps"],
-        rows,
-        title="Engine ingest throughput vs shard count (1M items)",
+        ["estimator", "shards", "pool Mdps", "thread Mdps", "process Mdps"],
+        [
+            [row["estimator"], row["shards"], row["pool_mdps"],
+             row["thread_mdps"], row["process_mdps"]]
+            for row in rows
+        ],
+        title=(
+            f"Engine ingest throughput vs shard count and backend "
+            f"({args.items} items, {os.cpu_count()} CPUs)"
+        ),
     ))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(
+                {"cpu_count": os.cpu_count(), "results": rows},
+                handle, indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 

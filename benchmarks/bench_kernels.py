@@ -165,3 +165,42 @@ def test_shared_plane_makes_second_consumer_cheap():
     warm = _per_item_seconds(lambda: second.record_plane(plane), ARRAY.size)
     assert warm < cold  # no re-hashing on the cached plane
     assert first.to_bytes() == second.to_bytes()
+
+
+def test_sparse_set_batch_skips_the_full_popcount():
+    """A tiny batch into a huge bitmap must not re-popcount every word.
+
+    2^24 bits = 262144 words; a 512-position batch touches ≤ 512 words
+    (≈0.02% — far under the 1% incremental threshold), so ``set_many``
+    popcounts only the touched group. The full-recount reference is the
+    same update followed by a whole-vector ``bitwise_count``. Best-of-N
+    against a generous 3× factor so a noisy runner cannot flake it.
+    """
+    from repro.bitvector import BitVector
+
+    size = 1 << 24
+    rng = np.random.default_rng(41)
+    positions = rng.integers(0, size, size=512, dtype=np.uint64)
+
+    vector = BitVector(size)
+    vector.set_many(rng.integers(0, size, size=4096, dtype=np.uint64))
+
+    def best_of(fn, repeats=7):
+        times = []
+        for __ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    incremental = best_of(lambda: vector.set_many(positions))
+    full = best_of(
+        lambda: (
+            vector.set_many(positions),
+            int(np.bitwise_count(vector._words).sum()),
+        )
+    )
+    assert incremental < full / 3, (
+        f"incremental {incremental * 1e6:.1f}us vs full-recount "
+        f"{full * 1e6:.1f}us: expected >= 3x headroom"
+    )

@@ -1,9 +1,16 @@
 """Packed bit-vector substrate used by the bitmap-family estimators.
 
 Bits are packed into ``uint64`` words. The number of one bits is
-maintained incrementally for O(1) ``ones`` queries on the scalar path;
-batch updates recompute the popcount of the word array, which is a cheap
-vectorized pass (a 10^6-bit vector is ~16k words).
+maintained incrementally for O(1) ``ones`` queries on the scalar path.
+Batch updates are word-grouped: positions are sorted so every touched
+``uint64`` word is read and written exactly once (one
+``np.bitwise_or.reduceat`` per word group), and when the batch touches
+at most 1% of the words only that word group is re-popcounted — the
+``_ones`` counter updates incrementally instead of re-scanning the
+whole array. Dense batches (comparable in size to the word array)
+skip the sort entirely: a single scatter plus one full popcount pass
+is cheaper there, and a full pass over a 10^6-bit vector is only ~16k
+words.
 """
 
 from __future__ import annotations
@@ -20,6 +27,16 @@ _U64_63 = np.uint64(63)
 _U64_ONE = np.uint64(1)
 
 _HEADER = struct.Struct("<QQ")  # nbits, ones
+
+#: A batch whose touched-word group is at most this fraction of the
+#: word array popcounts only the touched words (incremental ``_ones``
+#: update) instead of re-scanning the whole array.
+_SPARSE_WORD_FRACTION = 0.01
+
+#: Batches at least ``nwords >> _DENSE_SHIFT`` positions long skip the
+#: sort-and-group path: at that density a scatter plus one full
+#: popcount pass costs less than sorting the batch.
+_DENSE_SHIFT = 3
 
 
 class BitVector:
@@ -102,11 +119,45 @@ class BitVector:
         return int(np.count_nonzero(~self.test_many(unique)))
 
     def set_many(self, indices: np.ndarray) -> int:
-        """Set all bits at ``indices``; return how many were newly set."""
+        """Set all bits at ``indices``; return how many were newly set.
+
+        Sparse/medium batches sort the positions, OR each word group
+        together with ``np.bitwise_or.reduceat`` and write every
+        touched word exactly once; when the touched group is at most
+        ``_SPARSE_WORD_FRACTION`` of the word array, only that group is
+        re-popcounted and ``_ones`` updates incrementally. Dense
+        batches fall back to a scatter plus one full popcount pass.
+        """
         if indices.size == 0:
             return 0
         idx = indices.astype(np.uint64, copy=False)
-        scatter_or(self._words, idx >> _U64_6, _U64_ONE << (idx & _U64_63))
+        nwords = self._words.size
+        if idx.size >= nwords >> _DENSE_SHIFT:
+            scatter_or(
+                self._words, idx >> _U64_6, _U64_ONE << (idx & _U64_63)
+            )
+            return self._recount()
+        ordered = np.sort(idx)
+        word_ids = ordered >> _U64_6
+        masks = _U64_ONE << (ordered & _U64_63)
+        boundary = np.empty(word_ids.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(word_ids[1:], word_ids[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        touched = word_ids[starts]
+        merged = np.bitwise_or.reduceat(masks, starts)
+        if touched.size <= max(1, int(nwords * _SPARSE_WORD_FRACTION)):
+            before = int(np.bitwise_count(self._words[touched]).sum())
+            self._words[touched] |= merged
+            after = int(np.bitwise_count(self._words[touched]).sum())
+            newly_set = after - before
+            self._ones += newly_set
+            return newly_set
+        self._words[touched] |= merged
+        return self._recount()
+
+    def _recount(self) -> int:
+        """Full popcount pass; returns how many bits became one."""
         new_ones = int(np.bitwise_count(self._words).sum())
         newly_set = new_ones - self._ones
         self._ones = new_ones

@@ -6,6 +6,7 @@ Drives a synthetic (optionally duplicated) stream through a
 estimation accuracy, and optionally checkpoints/restores the pool::
 
     repro engine --estimator SMB --shards 4 --items 1000000
+    repro engine --shards 8 --workers 4 --items 4000000
     repro engine --shards 8 --checkpoint pool.ckpt
     repro engine --restore pool.ckpt --items 500000
     repro engine --metrics-out metrics.json --metrics-interval 5
@@ -95,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-depth", type=int, default=8, metavar="D",
         help="per-shard queue bound, in sub-batches (default: 8)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="W",
+        help="ingest through W shard worker processes with shared-memory "
+        "estimator planes instead of in-process threads (default: 0 = "
+        "threaded; see docs/parallel.md)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="pool seed")
     parser.add_argument(
         "--checkpoint", metavar="FILE",
@@ -156,6 +163,8 @@ def engine_main(argv: list[str] | None = None) -> int:
         raise SystemExit("--metrics-interval must be >= 0")
     if args.metrics_interval and not args.metrics_out:
         raise SystemExit("--metrics-interval requires --metrics-out")
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 0")
     if args.keep < 1:
         raise SystemExit("--keep must be >= 1")
     if args.checkpoint_every < 0:
@@ -252,6 +261,7 @@ def _run(args: "argparse.Namespace") -> int:
     with IngestPipeline(
         pool, chunk_size=args.chunk, queue_depth=args.queue_depth,
         checkpoint_manager=manager, checkpoint_every=args.checkpoint_every,
+        workers=args.workers,
     ) as pipeline:
         pipeline.checkpoint_meta = lambda: {
             "records_ingested": skip + pipeline.records_submitted,
@@ -275,7 +285,9 @@ def _run(args: "argparse.Namespace") -> int:
             if snapshotter is not None:
                 snapshotter.stop()
         elapsed = time.perf_counter() - start
-        estimate = pool.query()
+        # Ask the pipeline, not the pool: with --workers the template
+        # pool is stale until the backend syncs shard state back.
+        estimate = pipeline.query_live()
         if manager is not None:
             final = pipeline.checkpoint_now()
             print(

@@ -126,6 +126,17 @@ class IngestPipeline:
         :attr:`checkpoint_meta` to enrich the generation metadata (the
         engine CLI records the absolute stream offset there for exact
         resume).
+    workers:
+        0 (default) runs the threaded backend described above. A
+        positive count switches to the **process backend**: chunks are
+        routed to a :class:`~repro.parallel.pool.ProcessShardPool` with
+        that many worker processes instead of per-shard threads, so
+        hashing and recording scale past one core. The recorded state
+        is bit-for-bit identical either way; checkpoints are composed
+        from worker state at the same safe points and restore on either
+        backend. A crashed worker surfaces as
+        :class:`~repro.parallel.pool.WorkerCrashedError` from the next
+        submit/drain (the process backend never drops-and-continues).
     """
 
     def __init__(
@@ -135,6 +146,7 @@ class IngestPipeline:
         queue_depth: int = 8,
         checkpoint_manager: "CheckpointManager | None" = None,
         checkpoint_every: int = 0,
+        workers: int = 0,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -148,10 +160,13 @@ class IngestPipeline:
             raise ValueError(
                 "checkpoint_every requires a checkpoint_manager"
             )
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
         self.pool = pool
         self.chunk_size = int(chunk_size)
+        self.workers = int(workers)
         self.records_submitted = 0
-        self.records_applied = 0
+        self._records_applied = 0
         self.records_dropped = 0
         self.checkpoint_manager = checkpoint_manager
         self.checkpoint_every = int(checkpoint_every)
@@ -166,7 +181,15 @@ class IngestPipeline:
         # updates. Cost is one uncontended acquire per *chunk* or
         # sub-batch, never per item.
         self._count_lock = threading.Lock()
-        self._queues: list[queue.Queue] = [
+        if self.workers:
+            from repro.parallel import ProcessShardPool
+
+            self._backend: "ProcessShardPool | None" = ProcessShardPool(
+                pool, self.workers
+            )
+        else:
+            self._backend = None
+        self._queues: list[queue.Queue] = [] if self._backend else [
             queue.Queue(maxsize=queue_depth) for __ in pool.shards
         ]
         self._errors: list[BaseException] = []
@@ -187,17 +210,26 @@ class IngestPipeline:
         self._close_complete = threading.Event()
         self._closed = False
         registry = get_registry()
+        self._parallel_obs = None
         if registry.enabled:
-            from repro.obs.instrument import PipelineMetrics, PoolObserver
+            from repro.obs.instrument import (
+                ParallelMetrics,
+                PipelineMetrics,
+                PoolObserver,
+            )
 
             self._obs = PipelineMetrics(registry, pool.num_shards)
             #: Per-shard estimate/skew gauges (None when obs disabled);
             #: call ``pool_observer.update()`` at safe points.
             self.pool_observer = PoolObserver(registry, pool)
+            if self._backend is not None:
+                self._parallel_obs = ParallelMetrics(
+                    registry, self._backend.num_workers
+                )
         else:
             self._obs = None
             self.pool_observer = None
-        self._workers = [
+        self._workers = [] if self._backend else [
             threading.Thread(
                 target=self._work,
                 args=(shard_index,),
@@ -262,7 +294,17 @@ class IngestPipeline:
 
     def _count_applied(self, count: int) -> None:
         with self._count_lock:
-            self.records_applied += int(count)
+            self._records_applied += int(count)
+
+    @property
+    def records_applied(self) -> int:
+        """Records fully applied to the pool.
+
+        Thread backend: the worker-maintained counter. Process backend:
+        a live read of the workers' shared-memory counters (no IPC)."""
+        if self._backend is not None:
+            return self._backend.records_applied
+        return self._records_applied
 
     # ------------------------------------------------------------------
     # Producer side
@@ -307,6 +349,8 @@ class IngestPipeline:
         """The body of :meth:`submit`, after lifecycle registration."""
         self._raise_pending()
         values = canonical_u64_array(items)
+        if self._backend is not None:
+            return self._submit_process(values)
         # Hash in the producer, at full chunk width: NumPy releases the
         # GIL inside the vectorized hash kernels, so prefetching here
         # overlaps with the workers applying earlier sub-planes.
@@ -361,6 +405,39 @@ class IngestPipeline:
                         self._checkpoint_mutex.release()
         return enqueued
 
+    def _submit_process(self, values: np.ndarray) -> int:
+        """Process-backend body of :meth:`submit`: route chunks to the
+        worker rings. The backend bills the pool's routing-hash counter
+        itself; record counters and periodic checkpoints behave exactly
+        as on the threaded path."""
+        backend = self._backend
+        assert backend is not None
+        obs = self._obs
+        enqueued = 0
+        for start in range(0, values.size, self.chunk_size):
+            chunk = values[start:start + self.chunk_size]
+            fire("pipeline.queue-put")
+            backend.submit_values(chunk)
+            checkpoint_due = False
+            with self._count_lock:
+                self.records_submitted += chunk.size
+                if self.checkpoint_every:
+                    self._records_since_checkpoint += chunk.size
+                    checkpoint_due = (
+                        self._records_since_checkpoint
+                        >= self.checkpoint_every
+                    )
+            enqueued += chunk.size
+            if obs is not None:
+                obs.submitted.inc(chunk.size)
+            if checkpoint_due:
+                if self._checkpoint_mutex.acquire(blocking=False):
+                    try:
+                        self._checkpoint_quiesced(None, active_allowance=1)
+                    finally:
+                        self._checkpoint_mutex.release()
+        return enqueued
+
     def checkpoint_now(self, meta: dict | None = None) -> "Generation":
         """Drain to a safe point and write one checkpoint generation.
 
@@ -398,6 +475,7 @@ class IngestPipeline:
                 self._lifecycle.wait()
         try:
             self.drain()
+            self.sync_pool()
             merged: dict = {}
             if self.checkpoint_meta is not None:
                 merged.update(self.checkpoint_meta())
@@ -428,18 +506,50 @@ class IngestPipeline:
         """Block until every enqueued sub-batch has been applied.
 
         After ``drain`` returns (and before further ``submit`` calls)
-        the pool state is identical to a synchronous ingest of all
-        submitted items — a safe point to query or checkpoint.
+        the estimator state is identical to a synchronous ingest of all
+        submitted items — a safe point to query or checkpoint. On the
+        process backend this is a flush barrier across the worker
+        rings; the wrapped pool object itself stays stale until
+        :meth:`sync_pool`.
         """
+        if self._backend is not None:
+            self._backend.drain()
+            if self._parallel_obs is not None:
+                self._parallel_obs.update(self._backend)
+            return
         for inbox in self._queues:
             inbox.join()
         if self.pool_observer is not None:
             self.pool_observer.update()
         self._raise_pending()
 
+    def sync_pool(self) -> None:
+        """Make ``self.pool`` reflect all applied records.
+
+        A no-op on the threaded backend (workers mutate the pool's
+        shards in place); on the process backend this folds worker
+        shard state back into the pool — required before serializing
+        or checkpointing it. Callers should :meth:`drain` first.
+        """
+        if self._backend is not None:
+            self._backend.sync()
+            if self.pool_observer is not None:
+                self.pool_observer.update()
+
+    def query_live(self) -> float:
+        """The current estimate without draining (the serving layer's
+        O(1) ESTIMATE read): applied records only, never blocks on
+        in-flight batches. Thread backend reads the pool; process
+        backend reads the workers' shared-memory estimate headers."""
+        if self._backend is not None:
+            return self._backend.query()
+        return self.pool.query()
+
     def estimate(self) -> float:
         """Drain, then return the pool's cardinality estimate."""
         self.drain()
+        if self._backend is not None:
+            return self._backend.query()
         return self.pool.query()
 
     def close(self) -> None:
@@ -469,17 +579,42 @@ class IngestPipeline:
             self._close_complete.wait()
             return
         try:
-            for inbox in self._queues:
-                inbox.join()
-            for inbox in self._queues:
-                inbox.put(_STOP)
-            for worker in self._workers:
-                worker.join()
-            if self.pool_observer is not None:
-                self.pool_observer.update()
+            if self._backend is not None:
+                self._shutdown_backend()
+            else:
+                for inbox in self._queues:
+                    inbox.join()
+                for inbox in self._queues:
+                    inbox.put(_STOP)
+                for worker in self._workers:
+                    worker.join()
+                if self.pool_observer is not None:
+                    self.pool_observer.update()
         finally:
             self._close_complete.set()
         self._raise_pending()
+
+    def _shutdown_backend(self) -> None:
+        """Process-backend shutdown: fold state back, stop the workers.
+
+        A crashed worker is recorded (surfaced by ``_raise_pending`` at
+        the end of :meth:`close`) and the remaining workers still shut
+        down cleanly — close never hangs on a dead process."""
+        from repro.parallel import WorkerCrashedError
+
+        backend = self._backend
+        assert backend is not None
+        try:
+            backend.drain()
+            backend.sync()
+            if self.pool_observer is not None:
+                self.pool_observer.update()
+            if self._parallel_obs is not None:
+                self._parallel_obs.update(backend)
+        except WorkerCrashedError as error:
+            self._errors.append(error)
+        finally:
+            backend.close()
 
     def _raise_pending(self) -> None:
         if self._errors:

@@ -1,0 +1,43 @@
+"""Process-parallel execution backend over shared-memory estimator planes.
+
+The GIL ceilings the threaded engine at one core of hashing and
+recording; this package moves shard execution into worker processes:
+
+- :class:`~repro.parallel.pool.ProcessShardPool` — N workers own
+  disjoint contiguous shard ranges of a wrapped
+  :class:`~repro.engine.shards.ShardPool`; the parent routes batches,
+  the workers hash and apply them;
+- :class:`~repro.parallel.ring.ShmRing` — the per-worker SPSC request
+  ring in shared memory feeding each worker;
+- :class:`~repro.parallel.shm.WorkerArena` — the per-worker segment
+  holding adopted estimator plane arrays plus the status header (live
+  per-shard estimates, applied counters) the parent reads for O(1)
+  ESTIMATE with no IPC.
+
+Entry points: ``ShardPool.of(..., backend="process", workers=N)``,
+``IngestPipeline(pool, workers=N)``, ``repro engine --workers N`` and
+``repro serve --workers N``. See ``docs/parallel.md`` for the worker
+topology, the shared-memory layout, checkpoint composition and
+guidance on when the threaded backend is still the better choice.
+"""
+
+from repro.parallel.pool import (
+    DEFAULT_RING_BYTES,
+    ProcessShardPool,
+    WorkerCrashedError,
+    default_start_method,
+)
+from repro.parallel.ring import RingBrokenError, ShmRing
+from repro.parallel.shm import WorkerArena, plane_arrays, plane_region_bytes
+
+__all__ = [
+    "DEFAULT_RING_BYTES",
+    "ProcessShardPool",
+    "RingBrokenError",
+    "ShmRing",
+    "WorkerArena",
+    "WorkerCrashedError",
+    "default_start_method",
+    "plane_arrays",
+    "plane_region_bytes",
+]

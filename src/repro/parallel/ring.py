@@ -1,0 +1,251 @@
+"""SPSC byte ring over a ``multiprocessing.shared_memory`` segment.
+
+One :class:`ShmRing` carries length-prefixed messages from exactly one
+producer process (the parent) to exactly one consumer process (a shard
+worker). The payload bytes live in shared memory, so a message hand-off
+is one memcpy into the segment on the producer side and one memcpy out
+on the consumer side — no pickling of the bulk data and no pipe-buffer
+round trip through the kernel.
+
+There is deliberately **no cross-process lock**. An earlier design
+guarded the cursors with a ``multiprocessing.Condition``, which has a
+fatal failure mode this package must survive: a peer killed (SIGKILL,
+OOM) while holding the lock leaves it held forever, and the survivor's
+next acquire deadlocks *before* any liveness check can run — the exact
+scenario the crash tests exercise. A single-producer single-consumer
+ring needs no mutual exclusion at all: ``head`` is written only by the
+consumer, ``tail`` only by the producer, both are monotonic 8-byte
+aligned counters, and each side reads the other's cursor merely to
+bound its own progress (a stale read is always conservative — the
+producer sees the ring as fuller than it is, the consumer as emptier).
+Blocking waits are short exponential-backoff sleeps that re-check an
+optional liveness predicate, so a dead peer surfaces as
+:class:`RingBrokenError` instead of a hang, no matter where it died.
+
+Within one process, a plain ``threading.Lock`` (never shared across the
+fork, and therefore never orphaned by a peer's death) serializes
+same-side callers — the pipeline documents ``submit`` as safe from many
+threads at once.
+
+Cursor publication relies on the platform's store ordering: the payload
+bytes are written before the 8-byte cursor store that publishes them,
+and every platform this repository supports (x86-64 and AArch64 under
+CPython, whose buffer/struct C code issues real ordered stores with
+intervening synchronizing operations) observes the payload no later
+than the cursor. The cursors are single aligned 8-byte copies via
+``struct.pack_into`` and cannot tear.
+
+Segment layout::
+
+    [0:8)    head  (u64, bytes consumed so far, monotonically increasing)
+    [8:16)   tail  (u64, bytes produced so far, monotonically increasing)
+    [16:...) data  (circular buffer of ``capacity`` bytes)
+
+``tail - head`` is the number of unread bytes; both cursors only ever
+advance.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import time
+from multiprocessing import shared_memory
+from typing import Callable
+
+_CURSOR = struct.Struct("<Q")
+_HEAD_OFFSET = 0
+_TAIL_OFFSET = 8
+_DATA_OFFSET = 16
+_LENGTH = struct.Struct("<I")  # per-message length prefix
+
+#: First back-off sleep while a blocking wait spins on the cursors.
+_SLEEP_MIN_SECONDS = 0.0005
+#: Back-off cap — also bounds how stale a liveness check can be.
+_SLEEP_MAX_SECONDS = 0.02
+
+
+class RingBrokenError(RuntimeError):
+    """The peer on the other side of the ring is gone."""
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker adoption.
+
+    On Python 3.13+ a plain attach registers the segment with the
+    attaching process's ``resource_tracker``, which would unlink it
+    when the worker exits — destroying a segment the parent still owns.
+    The parent is the sole owner of every segment in this package, so
+    attachments pass ``track=False`` where the parameter exists
+    (earlier Pythons never track attachments in the first place).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter, no tracking
+        return shared_memory.SharedMemory(name=name)
+
+
+class ShmRing:
+    """Single-producer single-consumer byte ring (see module docstring).
+
+    Construct with :meth:`create` in the parent; ship :meth:`handle` to
+    the worker, which reconstructs its end with :meth:`attach`. The
+    creating side owns the segment and must :meth:`unlink` it.
+    """
+
+    def __init__(self, segment, capacity: int, owner: bool) -> None:
+        self._segment = segment
+        self._capacity = int(capacity)
+        self._owner = bool(owner)
+        self._buffer = segment.buf
+        # Serializes callers *within this process* only; each side has
+        # its own, so it can never be orphaned by the peer dying.
+        self._local = threading.Lock()
+
+    @classmethod
+    def create(cls, capacity: int) -> "ShmRing":
+        """Allocate a fresh ring of ``capacity`` data bytes (parent side)."""
+        if capacity < _LENGTH.size + 1:
+            raise ValueError(f"ring capacity too small: {capacity}")
+        segment = shared_memory.SharedMemory(
+            create=True, size=_DATA_OFFSET + int(capacity)
+        )
+        segment.buf[:_DATA_OFFSET] = bytes(_DATA_OFFSET)
+        return cls(segment, capacity, owner=True)
+
+    @classmethod
+    def attach(cls, handle: tuple) -> "ShmRing":
+        """Reconstruct the consumer end from :meth:`handle` (worker side)."""
+        name, capacity = handle
+        return cls(attach_segment(name), capacity, owner=False)
+
+    def handle(self) -> tuple:
+        """Picklable descriptor ``(name, capacity)``."""
+        return (self._segment.name, self._capacity)
+
+    @property
+    def capacity(self) -> int:
+        """Data capacity in bytes (excludes the cursor header)."""
+        return self._capacity
+
+    # ------------------------------------------------------------------
+    # Cursor and data access
+    # ------------------------------------------------------------------
+    def _head(self) -> int:
+        return _CURSOR.unpack_from(self._buffer, _HEAD_OFFSET)[0]
+
+    def _tail(self) -> int:
+        return _CURSOR.unpack_from(self._buffer, _TAIL_OFFSET)[0]
+
+    def _set_head(self, head: int) -> None:
+        _CURSOR.pack_into(self._buffer, _HEAD_OFFSET, head)
+
+    def _set_tail(self, tail: int) -> None:
+        _CURSOR.pack_into(self._buffer, _TAIL_OFFSET, tail)
+
+    def _write(self, position: int, payload: bytes) -> None:
+        """Copy ``payload`` into the data region starting at ``position``
+        (a monotonic byte offset), wrapping at the capacity boundary."""
+        offset = position % self._capacity
+        first = min(len(payload), self._capacity - offset)
+        base = _DATA_OFFSET
+        self._buffer[base + offset: base + offset + first] = payload[:first]
+        if first < len(payload):
+            self._buffer[base: base + len(payload) - first] = payload[first:]
+
+    def _read(self, position: int, count: int) -> bytes:
+        offset = position % self._capacity
+        first = min(count, self._capacity - offset)
+        base = _DATA_OFFSET
+        head_part = bytes(self._buffer[base + offset: base + offset + first])
+        if first == count:
+            return head_part
+        return head_part + bytes(self._buffer[base: base + count - first])
+
+    @staticmethod
+    def _backoff(
+        sleep_seconds: float, alive: Callable[[], bool] | None, who: str
+    ) -> float:
+        if alive is not None and not alive():
+            raise RingBrokenError(f"ring {who} is gone")
+        time.sleep(sleep_seconds)
+        return min(sleep_seconds * 2, _SLEEP_MAX_SECONDS)
+
+    # ------------------------------------------------------------------
+    # Producer / consumer API
+    # ------------------------------------------------------------------
+    def put(
+        self, payload: bytes, alive: Callable[[], bool] | None = None
+    ) -> None:
+        """Append one message, blocking while the ring is full.
+
+        ``alive`` is polled during waits; when it returns ``False`` the
+        consumer is gone and :class:`RingBrokenError` is raised instead
+        of blocking forever.
+        """
+        needed = _LENGTH.size + len(payload)
+        if needed > self._capacity:
+            raise ValueError(
+                f"message of {len(payload)} bytes exceeds ring capacity "
+                f"{self._capacity}"
+            )
+        with self._local:
+            tail = self._tail()
+            sleep_seconds = _SLEEP_MIN_SECONDS
+            # Only the consumer moves head, so a stale read merely
+            # under-reports free space — re-read until it suffices.
+            while self._capacity - (tail - self._head()) < needed:
+                sleep_seconds = self._backoff(
+                    sleep_seconds, alive, "consumer"
+                )
+            self._write(tail, _LENGTH.pack(len(payload)))
+            self._write(tail + _LENGTH.size, payload)
+            # Publishing store: the consumer never looks past tail, so
+            # the payload bytes above are in place before they become
+            # visible.
+            self._set_tail(tail + needed)
+
+    def get(self, alive: Callable[[], bool] | None = None) -> bytes:
+        """Pop the oldest message, blocking while the ring is empty."""
+        with self._local:
+            head = self._head()
+            sleep_seconds = _SLEEP_MIN_SECONDS
+            while self._tail() == head:
+                sleep_seconds = self._backoff(
+                    sleep_seconds, alive, "producer"
+                )
+            (length,) = _LENGTH.unpack(self._read(head, _LENGTH.size))
+            payload = self._read(head + _LENGTH.size, length)
+            self._set_head(head + _LENGTH.size + length)
+            return payload
+
+    def pending_bytes(self) -> int:
+        """Unread bytes currently in the ring (monitoring).
+
+        Reads both cursors without coordination; the difference is a
+        snapshot that may be momentarily stale on either side, which is
+        fine for a gauge.
+        """
+        return max(0, self._tail() - self._head())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release this process's mapping (both sides)."""
+        self._buffer = None
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - exported views still alive
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side only, after both closed)."""
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __repr__(self) -> str:
+        return f"ShmRing(capacity={self._capacity}, owner={self._owner})"

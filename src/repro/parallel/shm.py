@@ -1,0 +1,228 @@
+"""Per-worker shared-memory arena: estimator planes + status header.
+
+Each shard worker process owns one :class:`WorkerArena` — a
+``multiprocessing.shared_memory`` segment holding:
+
+- a small **status header** the parent reads without any IPC: per-shard
+  ``float64`` estimates (kept fresh by the worker after every applied
+  batch, so ``ESTIMATE`` in the parent is an O(1) memory read) and
+  ``uint64`` batches/records-applied counters plus a refresh sequence
+  number;
+- the **plane region**: the worker re-points its estimators' large
+  arrays (``BitVector`` words, HLL/LogLog register arrays, KMV value
+  arrays …) into this region, so the estimator state physically lives
+  in shared memory.
+
+The plane layout is discovered by a deterministic attribute walk over
+the estimator objects (:func:`plane_arrays`): both sides rebuild the
+same estimators from the same serialized blobs, walk them in the same
+order and therefore agree on every offset without shipping a layout
+table. An estimator that *reassigns* an array attribute during
+operation (e.g. KMV compaction allocating a fresh array) silently
+demotes that array from the arena back to private memory — worker
+correctness never depends on the arena, which exists for shared
+residency and observability; the status header is the authoritative
+cross-process surface.
+
+Segment layout (offsets in bytes, ``L`` = local shard count)::
+
+    [0:8)            batches applied   (u64)
+    [8:16)           records applied   (u64)
+    [16:24)          refresh sequence  (u64)
+    [24:24+8L)       per-shard estimates (f64)
+    [align 64 ...)   plane region (each array 64-byte aligned)
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.bitvector import BitVector
+from repro.estimators.base import CardinalityEstimator
+from repro.parallel.ring import attach_segment
+
+_COUNTERS = struct.Struct("<QQQ")  # batches, records, sequence
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _attribute_names(obj: object) -> list[str]:
+    """Instance attribute names in deterministic declaration order."""
+    names: list[str] = []
+    for klass in type(obj).__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.extend(slots)
+    instance_dict = getattr(obj, "__dict__", None)
+    if instance_dict:
+        names.extend(instance_dict)
+    return list(dict.fromkeys(names))
+
+
+def plane_arrays(
+    estimators: list[CardinalityEstimator],
+) -> list[tuple[object, str, np.ndarray]]:
+    """Every writable ndarray owned (transitively) by the estimators.
+
+    Walks estimator objects, nested estimators/bit-vectors and lists or
+    tuples thereof, in deterministic attribute order — the contract
+    that lets the parent and the worker agree on the arena layout
+    without exchanging it.
+    """
+    found: list[tuple[object, str, np.ndarray]] = []
+    seen: set[int] = set()
+
+    def collect(obj: object) -> None:
+        if id(obj) in seen:
+            return
+        seen.add(id(obj))
+        # analysis: allow(purity.loop) -- walks object attributes once
+        # at arena setup, never per item
+        for name in _attribute_names(obj):
+            try:
+                value = getattr(obj, name)
+            except AttributeError:
+                continue
+            if isinstance(value, np.ndarray):
+                if value.size and value.flags.writeable and value.flags.c_contiguous:
+                    found.append((obj, name, value))
+            elif isinstance(value, (BitVector, CardinalityEstimator)):
+                collect(value)
+            elif isinstance(value, (list, tuple)):
+                for element in value:
+                    if isinstance(element, (BitVector, CardinalityEstimator)):
+                        collect(element)
+
+    for estimator in estimators:
+        collect(estimator)
+    return found
+
+
+def plane_region_bytes(estimators: list[CardinalityEstimator]) -> int:
+    """Bytes the plane region needs for these estimators (aligned)."""
+    total = 0
+    for __, __, array in plane_arrays(estimators):
+        total = _aligned(total) + array.nbytes
+    return _aligned(total)
+
+
+class WorkerArena:
+    """One worker's shared segment (see module docstring).
+
+    The parent :meth:`create`\\ s the arena (it owns and must
+    :meth:`unlink` the segment) and only ever reads the status header;
+    the worker :meth:`attach`\\ es and, after rebuilding its shards,
+    :meth:`adopt`\\ s their plane arrays into the plane region.
+    """
+
+    def __init__(self, segment, num_slots: int, owner: bool) -> None:
+        self._segment = segment
+        self._owner = bool(owner)
+        self.num_slots = int(num_slots)
+        self._plane_offset = _aligned(_COUNTERS.size + 8 * self.num_slots)
+        self._estimates = np.ndarray(
+            (self.num_slots,),
+            dtype=np.float64,
+            buffer=segment.buf,
+            offset=_COUNTERS.size,
+        )
+
+    @classmethod
+    def create(cls, estimators: list[CardinalityEstimator]) -> "WorkerArena":
+        """Allocate an arena sized for these estimators (parent side)."""
+        num_slots = len(estimators)
+        header = _aligned(_COUNTERS.size + 8 * num_slots)
+        size = max(1, header + plane_region_bytes(estimators))
+        segment = shared_memory.SharedMemory(create=True, size=size)
+        segment.buf[:header] = bytes(header)
+        return cls(segment, num_slots, owner=True)
+
+    @classmethod
+    def attach(cls, handle: tuple) -> "WorkerArena":
+        """Reconstruct the worker end from :meth:`handle`."""
+        name, num_slots = handle
+        return cls(attach_segment(name), num_slots, owner=False)
+
+    def handle(self) -> tuple:
+        """Picklable descriptor ``(name, num_slots)``."""
+        return (self._segment.name, self.num_slots)
+
+    @property
+    def size(self) -> int:
+        """Total segment size in bytes."""
+        return self._segment.size
+
+    # ------------------------------------------------------------------
+    # Status header
+    # ------------------------------------------------------------------
+    def counters(self) -> tuple[int, int, int]:
+        """``(batches_applied, records_applied, sequence)``."""
+        return _COUNTERS.unpack_from(self._segment.buf, 0)
+
+    def set_counters(self, batches: int, records: int, sequence: int) -> None:
+        """Write the header counters (worker side; see module docstring)."""
+        _COUNTERS.pack_into(self._segment.buf, 0, batches, records, sequence)
+
+    def estimates(self) -> np.ndarray:
+        """Per-shard estimate slots (a live view; copy before holding)."""
+        return self._estimates
+
+    # ------------------------------------------------------------------
+    # Plane adoption (worker side)
+    # ------------------------------------------------------------------
+    def adopt(self, estimators: list[CardinalityEstimator]) -> int:
+        """Re-point the estimators' arrays into the plane region.
+
+        Returns the number of plane bytes adopted. Array contents are
+        preserved (copied into the segment before the swap).
+        """
+        offset = self._plane_offset
+        adopted = 0
+        # analysis: allow(purity.loop) -- one-time arena setup per
+        # worker start, never on the recording hot path
+        for owner, name, array in plane_arrays(estimators):
+            offset = _aligned(offset)
+            view = np.ndarray(
+                array.shape,
+                dtype=array.dtype,
+                buffer=self._segment.buf,
+                offset=offset,
+            )
+            np.copyto(view, array)
+            setattr(owner, name, view)
+            offset += array.nbytes
+            adopted += array.nbytes
+        return adopted
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release this process's mapping (best-effort: adopted views
+        held by live estimators keep the mapping pinned until exit)."""
+        self._estimates = None
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - adopted views still alive
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side only)."""
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerArena(slots={self.num_slots}, bytes={self.size}, "
+            f"owner={self._owner})"
+        )

@@ -264,6 +264,14 @@ class CardinalityServer:
         Per-tenant :class:`~repro.engine.pipeline.IngestPipeline`
         tuning. Each active tenant costs ``config.shards`` worker
         threads — bound ``config.max_tenants`` accordingly.
+    workers:
+        When positive, each tenant's pipeline ingests through that many
+        shard worker *processes* with shared-memory estimator planes
+        instead of in-process threads (see docs/parallel.md). ESTIMATE
+        stays an inline O(1) read: it snapshots the per-worker estimate
+        table in shared memory rather than querying the (stale between
+        checkpoints) template pool. Each active tenant then costs
+        ``workers`` processes — bound ``config.max_tenants`` accordingly.
     """
 
     def __init__(
@@ -274,12 +282,14 @@ class CardinalityServer:
         chunk_size: int = DEFAULT_CHUNK,
         queue_depth: int = 8,
         max_frame: int = protocol.DEFAULT_MAX_FRAME,
+        workers: int = 0,
     ) -> None:
         self.config = config if config is not None else TenantConfig()
         self.checkpoint_manager = checkpoint_manager
         self.resume = bool(resume)
         self.chunk_size = int(chunk_size)
         self.queue_depth = int(queue_depth)
+        self.workers = int(workers)
         self.max_frame = int(max_frame)
         self.registry = TenantRegistry(self.config)
         #: Number of the newest generation saved or restored (0 = none).
@@ -428,7 +438,7 @@ class CardinalityServer:
         try:
             if isinstance(request, Estimate):
                 response = encode_response(
-                    EstimateOk(self.registry.estimate(request.tenant))
+                    EstimateOk(self._estimate(request.tenant))
                 )
                 verb = "estimate"
             else:
@@ -542,6 +552,11 @@ class CardinalityServer:
         # drain really is a safe point across every tenant at once.
         for pipeline in self._pipelines.values():
             pipeline.drain()
+        for pipeline in self._pipelines.values():
+            # Process-backed pipelines: pull worker shard state back
+            # into the registry's pools so the generation captures it
+            # (no-op on the threaded backend).
+            pipeline.sync_pool()
         assert self.checkpoint_manager is not None
         generation = self.checkpoint_manager.save(
             cast(CardinalityEstimator, self.registry),
@@ -571,11 +586,27 @@ class CardinalityServer:
                 pool,
                 chunk_size=self.chunk_size,
                 queue_depth=self.queue_depth,
+                workers=self.workers,
             )
             self._pipelines[tenant] = pipeline
             if self.metrics is not None:
                 self.metrics.tenants.set(len(self.registry))
         return pipeline
+
+    def _estimate(self, tenant: str) -> float:
+        """The tenant's live estimate (the ESTIMATE fast path).
+
+        A tenant with an active pipeline answers through it —
+        with process workers that is an O(1) seqlock read of the
+        shared-memory estimate table, never a stale template-pool
+        query. A tenant without a pipeline (restored from checkpoint,
+        no RECORD yet) answers from the registry; an unknown tenant is
+        0.0 and allocates nothing.
+        """
+        pipeline = self._pipelines.get(tenant)
+        if pipeline is not None:
+            return pipeline.query_live()
+        return self.registry.estimate(tenant)
 
     def _record_totals(self) -> tuple[int, int, int]:
         submitted = applied = dropped = 0

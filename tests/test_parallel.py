@@ -1,0 +1,417 @@
+"""Process-parallel ingest: parity, crash containment, kill-and-resume.
+
+The load-bearing property is **bit-exact parity**: a
+:class:`~repro.parallel.ProcessShardPool` fed any stream must fold back
+to ``to_bytes`` state identical to the threaded
+:class:`~repro.engine.shards.ShardPool` — for every estimator in the
+zoo, including the order-sensitive ones (SMB, KMV, MRB). Parity holds
+because both backends route with the same seeded partitioner, workers
+receive each shard's sub-stream in arrival order, and the library's
+batch ≡ scalar recording contract makes chunk boundaries invisible.
+
+The crash tests SIGKILL a real worker process: in-process the pool must
+surface :class:`~repro.parallel.WorkerCrashedError` (never limp along
+with a shard range missing) and still close cleanly; end-to-end the
+engine CLI must die, then ``--resume --workers N`` must finish to the
+exact state of an uninterrupted run (the checkpoint generations written
+by the process backend are ordinary ShardPool generations).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import multiprocessing
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.pipeline import IngestPipeline
+from repro.engine.recovery import CheckpointManager
+from repro.engine.shards import ShardPool
+from repro.parallel import (
+    ProcessShardPool,
+    RingBrokenError,
+    ShmRing,
+    WorkerArena,
+    WorkerCrashedError,
+    plane_arrays,
+)
+from repro.streams import distinct_items, stream_with_duplicates
+
+#: Every checkpointable estimator the engine accepts (the zoo).
+from repro.bench.runner import ALL_ESTIMATORS
+
+#: Per-shard memory such that SMB actually morphs during the streams
+#: below (the parity claim must cover morph boundaries, not just the
+#: plain-bitmap phase).
+MEMORY_BITS = 16_000
+NUM_SHARDS = 4
+
+
+def reference_pool(estimator="SMB", seed=0, num_shards=NUM_SHARDS):
+    pool = ShardPool.of(estimator, MEMORY_BITS, num_shards, seed=seed)
+    assert isinstance(pool, ShardPool)
+    return pool
+
+
+# ---------------------------------------------------------------------------
+# Ring
+# ---------------------------------------------------------------------------
+class TestShmRing:
+    def _ring(self, capacity=256):
+        return ShmRing.create(capacity)
+
+    def test_roundtrip_preserves_order_and_bytes(self):
+        ring = self._ring()
+        try:
+            messages = [bytes([i]) * (i + 1) for i in range(10)]
+            for message in messages:
+                ring.put(message)
+            assert [ring.get() for __ in messages] == messages
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_wraparound_across_the_capacity_boundary(self):
+        ring = self._ring(capacity=64)
+        try:
+            # 17 x (4-byte prefix + 11 bytes) >> 64: every message after
+            # the fourth straddles or wraps the boundary somewhere.
+            for index in range(17):
+                payload = bytes([index]) * 11
+                ring.put(payload)
+                assert ring.get() == payload
+            assert ring.pending_bytes() == 0
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_oversized_message_is_rejected(self):
+        ring = self._ring(capacity=64)
+        try:
+            with pytest.raises(ValueError, match="exceeds ring capacity"):
+                ring.put(b"x" * 64)
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_dead_peer_breaks_the_wait_instead_of_hanging(self):
+        ring = self._ring(capacity=32)
+        try:
+            with pytest.raises(RingBrokenError):
+                ring.get(alive=lambda: False)
+            ring.put(b"xxxx" * 5)  # 4 + 20 of 32 bytes used
+            with pytest.raises(RingBrokenError):
+                ring.put(b"yyyy" * 5, alive=lambda: False)
+        finally:
+            ring.close()
+            ring.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Arena
+# ---------------------------------------------------------------------------
+class TestWorkerArena:
+    def test_adopted_planes_alias_shared_memory(self):
+        shards = reference_pool(seed=1).shards
+        arena = WorkerArena.create(shards)
+        try:
+            before = [array.copy() for __, __, array in plane_arrays(shards)]
+            adopted = arena.adopt(shards)
+            assert adopted > 0
+            after = plane_arrays(shards)
+            for copy, (owner, name, array) in zip(before, after):
+                np.testing.assert_array_equal(copy, array)  # contents kept
+                assert array.base is not None  # view into the segment
+            # Mutating through the estimator is visible in the segment:
+            # record into shard 0 and require *some* adopted array moved.
+            shards[0].record_many(distinct_items(500, seed=9))
+            changed = any(
+                not np.array_equal(copy, array)
+                for copy, (__, __, array) in zip(before, plane_arrays(shards))
+            )
+            assert changed
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_status_header_counters_and_estimates(self):
+        shards = reference_pool(seed=2).shards
+        arena = WorkerArena.create(shards)
+        try:
+            assert arena.counters() == (0, 0, 0)
+            arena.set_counters(3, 4096, 6)
+            assert arena.counters() == (3, 4096, 6)
+            arena.estimates()[:] = [1.0, 2.0, 3.0, 4.0]
+            assert arena.estimates().sum() == 10.0
+        finally:
+            arena.close()
+            arena.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Parity (the tentpole claim)
+# ---------------------------------------------------------------------------
+class TestProcessPoolParity:
+    @pytest.mark.parametrize("estimator", sorted(ALL_ESTIMATORS))
+    def test_zoo_parity_is_bit_exact(self, estimator):
+        """Process backend == thread backend, byte for byte, per zoo entry."""
+        stream = stream_with_duplicates(8_000, 12_000, seed=7)
+        reference = reference_pool(estimator, seed=3)
+        reference.record_many(stream)
+        with ProcessShardPool.of(
+            estimator, MEMORY_BITS, NUM_SHARDS, seed=3, workers=2
+        ) as parallel:
+            parallel.record_many(stream)
+            parallel.drain()
+            assert parallel.query() == reference.query()
+            assert parallel.to_bytes() == reference.to_bytes()
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        workers=st.integers(min_value=1, max_value=3),
+        pieces=st.lists(
+            st.integers(min_value=0, max_value=2_000),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_parity_property_any_chunking(self, seed, workers, pieces):
+        """Any seed, worker count and submission chunking folds identically."""
+        stream = stream_with_duplicates(4_000, 6_000, seed=seed % 10_000)
+        reference = reference_pool(seed=seed % 100)
+        reference.record_many(stream)
+        pool = reference_pool(seed=seed % 100)
+        with ProcessShardPool(pool, workers) as parallel:
+            cursor = 0
+            for piece in pieces:
+                parallel.submit_values(stream[cursor:cursor + piece])
+                cursor += piece
+            parallel.submit_values(stream[cursor:])
+            assert parallel.to_bytes() == reference.to_bytes()
+
+    def test_scalar_record_contract(self):
+        """The CardinalityEstimator scalar path routes like everything else."""
+        reference = reference_pool(seed=4)
+        with ProcessShardPool(reference_pool(seed=4), 2) as parallel:
+            for value in range(200):
+                parallel.record(value)
+                reference.record(value)
+            parallel.record("hello")
+            reference.record("hello")
+            assert parallel.to_bytes() == reference.to_bytes()
+
+    def test_counters_and_metrics_after_drain(self):
+        stream = distinct_items(10_000, seed=5)
+        with ProcessShardPool.of(
+            "SMB", MEMORY_BITS, NUM_SHARDS, seed=0, workers=2
+        ) as parallel:
+            parallel.submit_values(stream)
+            parallel.drain()
+            assert parallel.records_applied == stream.size
+            assert parallel.batches_applied >= 2  # one ring message each
+            rows = parallel.worker_metrics()
+            assert [row["worker"] for row in rows] == [0, 1]
+            assert sum(row["records_applied"] for row in rows) == stream.size
+            assert sum(row["shards"] for row in rows) == NUM_SHARDS
+            assert all(row["alive"] for row in rows)
+            assert all(row["ring_backlog_bytes"] == 0 for row in rows)
+            assert all(row["shm_bytes"] > 0 for row in rows)
+
+    def test_query_is_live_without_sync(self):
+        """ESTIMATE semantics: applied batches show up without a fold."""
+        stream = distinct_items(10_000, seed=6)
+        reference = reference_pool(seed=6)
+        reference.record_many(stream)
+        with ProcessShardPool(reference_pool(seed=6), 2) as parallel:
+            parallel.submit_values(stream)
+            parallel.drain()
+            # No sync(): the template pool is stale, yet query() reads
+            # the workers' shared-memory estimate table.
+            assert parallel.pool.query() == 0.0
+            assert parallel.query() == reference.query()
+
+
+# ---------------------------------------------------------------------------
+# Pipeline integration
+# ---------------------------------------------------------------------------
+class TestPipelineProcessMode:
+    def test_estimate_parity_with_threaded_pipeline(self):
+        stream = stream_with_duplicates(20_000, 30_000, seed=11)
+        threaded_pool = reference_pool(seed=5)
+        with IngestPipeline(threaded_pool, chunk_size=4096) as pipeline:
+            pipeline.submit(stream)
+            threaded_estimate = pipeline.estimate()
+        process_pool = reference_pool(seed=5)
+        with IngestPipeline(
+            process_pool, chunk_size=4096, workers=2
+        ) as pipeline:
+            pipeline.submit(stream)
+            assert pipeline.estimate() == threaded_estimate
+            assert pipeline.records_applied == stream.size
+        # close() folded worker state back into the caller's pool.
+        assert process_pool.to_bytes() == threaded_pool.to_bytes()
+
+    def test_periodic_checkpoints_match_threaded_generations(self, tmp_path):
+        """Every generation a process-backed run writes equals the
+        threaded run's generation — resumable on either backend."""
+        stream = stream_with_duplicates(20_000, 30_000, seed=11)
+
+        def generations(workers, directory):
+            manager = CheckpointManager(directory, sync_directory=False)
+            pool = reference_pool(seed=5)
+            with IngestPipeline(
+                pool, chunk_size=4096, workers=workers,
+                checkpoint_manager=manager, checkpoint_every=8_000,
+            ) as pipeline:
+                pipeline.submit(stream)
+            return [
+                (generation.meta["records_submitted"],
+                 open(generation.path, "rb").read())
+                for generation in manager.generations()
+            ], pool.to_bytes()
+
+        threaded, threaded_final = generations(0, tmp_path / "threads")
+        process, process_final = generations(2, tmp_path / "procs")
+        assert [meta for meta, __ in threaded] == [meta for meta, __ in process]
+        assert threaded == process
+        assert threaded_final == process_final
+
+
+# ---------------------------------------------------------------------------
+# Crash containment and kill-and-resume
+# ---------------------------------------------------------------------------
+class TestWorkerCrash:
+    def test_sigkilled_worker_surfaces_not_limps(self):
+        pool = ProcessShardPool.of(
+            "SMB", MEMORY_BITS, NUM_SHARDS, seed=0, workers=2
+        )
+        try:
+            pool.submit_values(distinct_items(5_000, seed=1))
+            pool.drain()
+            os.kill(pool._processes[0].pid, signal.SIGKILL)
+            pool._processes[0].join(timeout=10.0)
+            with pytest.raises(WorkerCrashedError):
+                while True:  # first ring put can still land in free space
+                    pool.submit_values(distinct_items(5_000, seed=2))
+                    pool.drain()
+            # The failure is sticky: no half-pool estimates afterwards.
+            with pytest.raises(WorkerCrashedError):
+                pool.sync()
+        finally:
+            pool.close()  # must not hang on the dead worker
+
+    def test_crashed_backend_fails_pipeline_close(self):
+        pool = reference_pool(seed=0)
+        pipeline = IngestPipeline(pool, chunk_size=4096, workers=2)
+        pipeline.submit(distinct_items(5_000, seed=1))
+        pipeline.drain()
+        backend = pipeline._backend
+        os.kill(backend._processes[0].pid, signal.SIGKILL)
+        backend._processes[0].join(timeout=10.0)
+        with pytest.raises(RuntimeError):
+            # Submit/drain notices the dead worker (WorkerCrashedError
+            # is a RuntimeError) — never limps with a range missing.
+            pipeline.submit(distinct_items(5_000, seed=2))
+            pipeline.drain()
+        with pytest.raises(RuntimeError):
+            # close still can't fold back the dead worker's shards and
+            # must say so (after shutting everything down cleanly).
+            pipeline.close()
+        pipeline.close()  # later closes are no-ops
+
+
+ENGINE_ITEMS = 600_000
+CHECKPOINT_EVERY = 50_000
+
+
+class TestEngineKillResume:
+    """SIGKILL a real shard worker under ``repro engine --workers``."""
+
+    def _spawn(self, tmp_path, *extra):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "engine",
+                "--items", str(ENGINE_ITEMS), "--shards", "4",
+                "--workers", "2",
+                "--checkpoint-dir", str(tmp_path / "ckpts"),
+                "--checkpoint-every", str(CHECKPOINT_EVERY),
+                *extra,
+            ],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    @staticmethod
+    def _children(pid):
+        """Shard-worker children of the engine process (not the
+        multiprocessing resource tracker, which is also a child)."""
+        try:
+            with open(f"/proc/{pid}/task/{pid}/children") as handle:
+                candidates = [int(token) for token in handle.read().split()]
+        except OSError:
+            return []
+        workers = []
+        for child in candidates:
+            try:
+                with open(f"/proc/{child}/cmdline", "rb") as handle:
+                    cmdline = handle.read()
+            except OSError:
+                continue
+            if b"resource_tracker" not in cmdline:
+                workers.append(child)
+        return workers
+
+    def test_killed_worker_then_resume_is_bit_exact(self, tmp_path):
+        if not os.path.isdir("/proc"):  # pragma: no cover - non-Linux
+            pytest.skip("needs /proc to find the worker process")
+        run = self._spawn(tmp_path)
+        try:
+            # Wait for the first durable generation, then kill a worker
+            # child mid-run: the parent must fail loudly, not finish
+            # with a shard range silently missing.
+            deadline = time.monotonic() + 90
+            ckpts = tmp_path / "ckpts"
+            while time.monotonic() < deadline:
+                if run.poll() is not None:
+                    break
+                if list(ckpts.glob("ckpt-*.rpck")) and self._children(run.pid):
+                    break
+                time.sleep(0.01)
+            children = self._children(run.pid)
+            if run.poll() is None and children:
+                os.kill(children[0], signal.SIGKILL)
+                out, err = run.communicate(timeout=120)
+                assert run.returncode != 0, (out, err)
+                assert "died" in (out + err)
+            else:  # pragma: no cover - run finished before the kill
+                run.communicate(timeout=120)
+                pytest.skip("engine finished before a worker could be killed")
+        finally:
+            if run.poll() is None:  # pragma: no cover - defensive
+                run.kill()
+                run.communicate()
+
+        resumed = self._spawn(tmp_path, "--resume")
+        out, err = resumed.communicate(timeout=300)
+        assert resumed.returncode == 0, (out, err)
+
+        manager = CheckpointManager(tmp_path / "ckpts", sync_directory=False)
+        restored, generation = manager.load_latest()
+        assert generation.meta["records_ingested"] == ENGINE_ITEMS
+        # CLI defaults: pool seed 0, stream seed 1, memory 20000 bits.
+        reference = ShardPool.of("SMB", 20_000, 4, seed=0)
+        reference.record_many(distinct_items(ENGINE_ITEMS, seed=1))
+        assert restored.to_bytes() == reference.to_bytes()
+        estimate = restored.query()
+        assert abs(estimate - ENGINE_ITEMS) / ENGINE_ITEMS < 0.05

@@ -1,0 +1,288 @@
+"""Multicore scaling snapshot → BENCH_scaling.json.
+
+Measures the process-worker backend (:mod:`repro.parallel`) against the
+threaded baseline and writes one machine-readable snapshot at the repo
+root, so the multicore PR's numbers travel with the tree:
+
+- ``ingest`` — SMB pipeline throughput (Mdps) over 8 shards for the
+  threaded backend and for 1/2/4/8 worker processes, with each process
+  row's speedup over the 1-worker run (the per-core scaling curve);
+- ``serve`` — wire-level RECORD keys/s and ESTIMATE QPS of the
+  cardinality server with 0 (threaded) and 4 worker processes per
+  tenant, with the RECORD speedup over the threaded run;
+- ``criteria`` — the acceptance bars next to what this host measured,
+  plus a **waiver** string whenever the host cannot express a bar
+  (scaling claims are meaningless on a box with fewer cores than
+  workers; recording the waiver keeps that explicit instead of silently
+  green). ``tools/bench_snapshot.py --check-scaling`` re-derives the
+  verdict from ``cpu_count``, so a hand-edited ``pass`` cannot sneak
+  through CI.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tools/bench_scaling.py [--out BENCH_scaling.json]
+
+``REPRO_SCALE`` scales the stream sizes down for smoke runs, exactly as
+it does for the experiment harness and ``tools/bench_snapshot.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_snapshot import (
+    GATING_INGEST_SPEEDUP_AT_2,
+    TARGET_INGEST_SPEEDUP_AT_8,
+    TARGET_SERVE_RECORD_SPEEDUP_AT_4,
+    check_scaling_bars,
+)
+from repro.bench.runner import mdps, repro_scale
+from repro.engine import IngestPipeline, ShardPool
+from repro.streams import distinct_items
+
+ESTIMATOR = "SMB"
+SHARDS = 8
+MEMORY_PER_SHARD = 5_000
+INGEST_WORKER_COUNTS = (1, 2, 4, 8)
+SERVE_WORKER_COUNTS = (0, 4)
+
+
+def make_pool() -> ShardPool:
+    pool = ShardPool.of(
+        ESTIMATOR,
+        MEMORY_PER_SHARD * SHARDS,
+        SHARDS,
+        design_cardinality=1_000_000 * SHARDS,
+        seed=0,
+    )
+    assert isinstance(pool, ShardPool)
+    return pool
+
+
+def time_ingest(items: np.ndarray, workers: int, repeats: int = 3) -> float:
+    """Best-of-N seconds for one pipeline ingest (startup excluded)."""
+    best = float("inf")
+    for __ in range(repeats):
+        pipeline = IngestPipeline(make_pool(), workers=workers)
+        try:
+            start = time.perf_counter()
+            pipeline.submit(items)
+            pipeline.drain()
+            best = min(best, time.perf_counter() - start)
+        finally:
+            pipeline.close()
+    return best
+
+
+def bench_ingest(items: np.ndarray) -> list[dict]:
+    rows = [{
+        "backend": "thread",
+        "workers": 0,
+        "seconds": round(time_ingest(items, 0), 6),
+        "mdps": 0.0,
+        "speedup_vs_1worker": None,
+    }]
+    baseline_seconds = None
+    for workers in INGEST_WORKER_COUNTS:
+        seconds = time_ingest(items, workers)
+        if workers == 1:
+            baseline_seconds = seconds
+        rows.append({
+            "backend": "process",
+            "workers": workers,
+            "seconds": round(seconds, 6),
+            "mdps": 0.0,
+            "speedup_vs_1worker": (
+                round(baseline_seconds / seconds, 3)
+                if baseline_seconds
+                else None
+            ),
+        })
+    for row in rows:
+        row["mdps"] = round(mdps(items.size, row["seconds"]), 3)
+    return rows
+
+
+def bench_serve(scale: float) -> list[dict]:
+    """RECORD/ESTIMATE load runs against servers with 0 and 4 workers."""
+    import asyncio
+    import tempfile
+
+    from repro.engine.recovery import CheckpointManager
+    from repro.serve import CardinalityServer, TenantConfig
+    from repro.serve.loadgen import run_load
+
+    record_frames = max(8, int(64 * scale))
+    estimate_requests = max(500, int(5000 * scale))
+
+    async def drive(workers: int) -> dict:
+        with tempfile.TemporaryDirectory() as scratch:
+            server = CardinalityServer(
+                TenantConfig(
+                    estimator=ESTIMATOR,
+                    memory_bits=MEMORY_PER_SHARD * 4,
+                    shards=4,
+                ),
+                checkpoint_manager=CheckpointManager(
+                    Path(scratch) / "ckpts", sync_directory=False
+                ),
+                workers=workers,
+            )
+            host, port = await server.start("127.0.0.1", 0)
+            try:
+                return await run_load(
+                    host,
+                    port,
+                    tenants=2,
+                    connections=2,
+                    record_frames=record_frames,
+                    batch_size=8192,
+                    estimate_requests=estimate_requests,
+                )
+            finally:
+                await server.stop()
+
+    rows = []
+    baseline = None
+    for workers in SERVE_WORKER_COUNTS:
+        load = asyncio.run(drive(workers))
+        keys_per_second = load["record"]["keys_per_second"]
+        if workers == 0:
+            baseline = keys_per_second
+        rows.append({
+            "workers": workers,
+            "record_keys_per_second": round(keys_per_second, 1),
+            "estimate_qps": round(load["estimate"]["qps"], 1),
+            "record_speedup_vs_0workers": (
+                round(keys_per_second / baseline, 3)
+                if workers and baseline
+                else None
+            ),
+        })
+    return rows
+
+
+def build_criteria(ingest: list[dict], serve: list[dict]) -> dict:
+    """The machine-aware verdict (mirrors ``check_scaling_bars``)."""
+    cpus = os.cpu_count() or 1
+
+    def ingest_speedup(workers: int):
+        for row in ingest:
+            if row["backend"] == "process" and row["workers"] == workers:
+                return row["speedup_vs_1worker"]
+        return None
+
+    def serve_speedup(workers: int):
+        for row in serve:
+            if row["workers"] == workers:
+                return row["record_speedup_vs_0workers"]
+        return None
+
+    at_2 = ingest_speedup(2)
+    at_8 = ingest_speedup(8)
+    serve_4 = serve_speedup(4)
+    waiver = None
+    if cpus >= 8:
+        passed = (
+            at_8 is not None
+            and at_8 >= TARGET_INGEST_SPEEDUP_AT_8
+            and serve_4 is not None
+            and serve_4 >= TARGET_SERVE_RECORD_SPEEDUP_AT_4
+        )
+    elif cpus >= 2:
+        waiver = (
+            f"host has {cpus} CPU cores (< 8): the 4x-at-8-workers and "
+            f"2.5x-serve-RECORD bars are waived; the 2x-at-2-workers "
+            f"gate applies instead"
+        )
+        passed = at_2 is not None and at_2 >= GATING_INGEST_SPEEDUP_AT_2
+    else:
+        waiver = (
+            "host has 1 CPU core: all multicore speedup bars are waived "
+            "(process workers cannot beat a single-core thread run); "
+            "this snapshot records that the backend runs end to end"
+        )
+        passed = True
+    return {
+        "target_ingest_speedup_at_8": TARGET_INGEST_SPEEDUP_AT_8,
+        "gating_ingest_speedup_at_2": GATING_INGEST_SPEEDUP_AT_2,
+        "target_serve_record_speedup_at_4": TARGET_SERVE_RECORD_SPEEDUP_AT_4,
+        "ingest_speedup_at_2": at_2,
+        "ingest_speedup_at_8": at_8,
+        "serve_record_speedup_at_4": serve_4,
+        "waiver": waiver,
+        "pass": passed,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
+        ),
+        help="output path (default: BENCH_scaling.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = repro_scale(1.0)
+    stream_items = max(50_000, int(1_000_000 * scale))
+    items = distinct_items(stream_items, seed=13)
+    # Warm NumPy's ufunc dispatch outside the measured region.
+    make_pool().record_many(items[:8192])
+
+    ingest = bench_ingest(items)
+    serve = bench_serve(scale)
+    snapshot = {
+        "generated_by": "tools/bench_scaling.py",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+        "estimator": ESTIMATOR,
+        "shards": SHARDS,
+        "stream_items": stream_items,
+        "ingest": ingest,
+        "serve": serve,
+        "criteria": build_criteria(ingest, serve),
+    }
+
+    problems = check_scaling_bars(snapshot)
+    if problems:
+        for problem in problems:
+            print(f"scaling: {problem}", file=sys.stderr)
+        print("refusing to write a snapshot that fails its own bars")
+        return 1
+
+    Path(args.out).write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for row in ingest:
+        label = (
+            f"{row['workers']}w" if row["backend"] == "process" else "thread"
+        )
+        speedup = row["speedup_vs_1worker"]
+        suffix = f"  ({speedup}x vs 1w)" if speedup is not None else ""
+        print(f"  ingest {label:>6s}  {row['mdps']:8.3f} Mdps{suffix}")
+    for row in serve:
+        speedup = row["record_speedup_vs_0workers"]
+        suffix = f"  ({speedup}x vs 0w)" if speedup is not None else ""
+        print(
+            f"  serve  {row['workers']}w RECORD "
+            f"{row['record_keys_per_second']:12,.0f} keys/s{suffix}"
+        )
+    waiver = snapshot["criteria"]["waiver"]
+    if waiver:
+        print(f"  waiver: {waiver}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
