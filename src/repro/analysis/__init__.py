@@ -1,6 +1,6 @@
 """AST-based invariant checkers for the estimator zoo, kernels and engine.
 
-``repro analyze src/repro`` (or ``python tools/analyze.py``) runs five
+``repro analyze src/repro`` (or ``python tools/analyze.py``) runs the
 domain-specific checkers that mechanically enforce the invariants the
 paper's claims depend on:
 
@@ -12,6 +12,13 @@ determinism      randomness flows from explicit seeds, never globals
 dtype            hash planes keep uint64/declared dtypes, no implicit casts
 contract         estimator subclasses honour the library-wide contract
 serialization    recorded state round-trips through to_bytes/from_bytes
+guards           ``# guarded-by:`` fields stay under their declared lock
+lockorder        the acquires-while-holding graph stays acyclic
+asyncio          event-loop hygiene: no blocking calls, shielded gates,
+                 no fire-and-forget tasks
+seqlock          seqlock bracket / reader re-check / blessed ring-cursor
+                 accessors in ``repro.parallel``
+analysis         ``allow()`` ids name real rules (suppression audit)
 ==============  ======================================================
 
 See ``docs/dev-tooling.md`` for each rule's rationale and the
@@ -36,10 +43,14 @@ from repro.analysis.core import (
 
 # Importing the checker modules registers them with the rule registry.
 from repro.analysis import (  # noqa: F401  (imported for side effects)
+    aio,
     contracts,
     determinism,
     dtypes,
+    guards,
+    lockorder,
     purity,
+    seqlock,
     serialization,
 )
 

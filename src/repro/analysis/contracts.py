@@ -21,8 +21,9 @@ Rules
   advertised by the class's ``plane_requests`` via the matching
   ``*_request`` helpers. An unadvertised read defeats the pool/pipeline
   prefetch: the shards silently re-hash every chunk.
-- ``contract.unregistered`` — a serializable estimator (defines
-  ``to_bytes``/``from_bytes``) must appear in the checkpoint registry
+- ``contract.unregistered`` — a serializable estimator (implements
+  ``to_bytes``/``from_bytes`` below the base class, whose own raising
+  stubs do not count) must appear in the checkpoint registry
   (``estimator_registry``), or its checkpoints cannot be restored.
 - ``contract.unexported`` — a public estimator defined under
   ``repro/estimators/`` must be exported in the package ``__all__``.
@@ -188,8 +189,15 @@ class ContractChecker(Checker):
     def _check_registered(
         self, info: ClassInfo, project: ProjectModel
     ) -> Iterator[Diagnostic]:
-        methods = info.mro_methods()
-        if "to_bytes" not in methods or "from_bytes" not in methods:
+        # The estimator base ships *raising* to_bytes/from_bytes stubs
+        # (the optional-capability pattern); only overrides below the
+        # base make a class actually serializable.
+        implemented: set[str] = set()
+        for ancestor in [info, *self._ancestors(info)]:
+            if ancestor.name == ProjectModel.ESTIMATOR_BASE:
+                continue
+            implemented.update(ancestor.methods)
+        if "to_bytes" not in implemented or "from_bytes" not in implemented:
             return
         if info.name not in project.registry_names:
             yield self.diagnostic(

@@ -24,14 +24,16 @@ Architecture
   the class graph (with ``CardinalityEstimator`` subclass resolution),
   registry membership and ``__all__`` exports, shared by the contract
   and serialization checkers;
-- suppression — inline ``# analysis: allow(rule.id) -- reason`` comments
-  on (or directly above) the flagged line, plus a checked-in JSON
-  baseline for findings that cannot carry an inline comment. The
+- suppression — inline ``# analysis: allow(purity.loop) -- reason``
+  comments on (or directly above) the flagged line, plus a checked-in
+  JSON baseline for findings that cannot carry an inline comment. The
   shipped baseline is empty for ``src/repro``: real findings get fixed,
-  not baselined.
+  not baselined. Allow ids are themselves audited
+  (``analysis.unknown-allow``) and baseline entries that suppress
+  nothing are reported as stale.
 
 Checkers register themselves via :func:`register_checker`; importing
-:mod:`repro.analysis` loads the standard five.
+:mod:`repro.analysis` loads the standard suite.
 """
 
 from __future__ import annotations
@@ -403,6 +405,57 @@ def all_rules() -> list[Rule]:
     return sorted(rules, key=lambda rule: rule.id)
 
 
+@register_checker
+class AllowAuditChecker(Checker):
+    """Audit the suppression comments themselves.
+
+    A typo in an allow comment's rule id silently suppresses nothing
+    while *looking* like an audited deviation — the worst kind of
+    drift. Every id must be a registered rule id or family name.
+    """
+
+    name = "analysis"
+    rules = (
+        Rule(
+            id="analysis.unknown-allow",
+            summary="allow() comment names an unknown rule id or family",
+            hint=(
+                "use a registered id from `repro analyze --list-rules` "
+                "(or a bare family name); typos suppress nothing"
+            ),
+        ),
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Diagnostic]:
+        known_ids = {
+            rule.id for checker in all_checkers() for rule in checker.rules
+        }
+        families = set(_CHECKERS)
+        for lineno, text in enumerate(module.lines, 1):
+            match = _ALLOW_RE.search(text)
+            if match is None:
+                continue
+            for part in match.group(1).split(","):
+                identifier = part.strip()
+                if not identifier:
+                    continue
+                if identifier in known_ids or identifier in families:
+                    continue
+                yield Diagnostic(
+                    path=module.relpath,
+                    line=lineno,
+                    col=match.start() + 1,
+                    rule="analysis.unknown-allow",
+                    message=(
+                        f"allow() names {identifier!r}, which is neither a "
+                        f"registered rule id nor a checker family"
+                    ),
+                    hint=self.rules[0].hint,
+                )
+
+
 # ----------------------------------------------------------------------
 # Baseline
 # ----------------------------------------------------------------------
@@ -458,10 +511,20 @@ class AnalysisResult:
     files_scanned: int
     suppressed_inline: int
     suppressed_baseline: int
+    #: Baseline entries that suppressed nothing this run — stale budget
+    #: (the finding was fixed, or the entry was written with count 0).
+    stale_baseline: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.diagnostics
+
+    def rule_counts(self) -> dict[str, int]:
+        """Unsuppressed finding count per rule id, sorted by id."""
+        counts: dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[diag.rule] = counts.get(diag.rule, 0) + 1
+        return dict(sorted(counts.items()))
 
 
 def _collect_files(paths: Sequence[str | os.PathLike]) -> list[Path]:
@@ -535,8 +598,10 @@ def analyze_paths(
         survivors.append(diag)
 
     suppressed_baseline = 0
+    stale_baseline: list[tuple[str, str]] = []
     if baseline is not None:
         budget = load_baseline(baseline)
+        loaded = dict(budget)
         remaining: list[Diagnostic] = []
         for diag in survivors:
             key = (diag.path, diag.rule)
@@ -546,10 +611,16 @@ def analyze_paths(
             else:
                 remaining.append(diag)
         survivors = remaining
+        stale_baseline = sorted(
+            key
+            for key, count in loaded.items()
+            if count == budget.get(key, 0)
+        )
 
     return AnalysisResult(
         diagnostics=survivors,
         files_scanned=len(modules),
         suppressed_inline=suppressed_inline,
         suppressed_baseline=suppressed_baseline,
+        stale_baseline=stale_baseline,
     )

@@ -1,0 +1,341 @@
+"""Lock-ordering: the acquires-while-holding graph must stay acyclic.
+
+Deadlock needs four ingredients; the one a static checker can kill is
+*circular wait*. This checker finds every per-instance lock created in
+an ``__init__`` (``threading.Lock``/``RLock``/``Condition``/
+``Semaphore`` and their ``asyncio`` twins), then builds the directed
+graph "lock ``A`` is held when lock ``B`` is acquired" across the whole
+analyzed tree:
+
+- nested ``with self.a: ... with self.b:`` blocks contribute ``A → B``;
+- a call to a same-class method from inside a ``with`` contributes
+  edges to every lock that method (transitively) acquires;
+- a call through a composed object — ``self.checkpoint_manager.save()``
+  — resolves the attribute to its class (by direct construction in
+  ``__init__``, or the ``snake_case`` attribute → ``CamelCase`` class
+  convention) and pulls in that method's transitive acquires, so the
+  pipeline's ``checkpoint_mutex → CheckpointManager._lock`` edge is
+  visible.
+
+Any strongly connected component (including a self-loop: re-acquiring a
+non-reentrant lock you already hold) is a potential deadlock and every
+edge inside it is flagged at its acquisition site.
+
+The analysis over-approximates: nested-function acquires count toward
+the enclosing method, and attribute resolution is heuristic. The graph
+it builds for this tree (pipeline, checkpoint manager, gate, metrics,
+rings) is small enough that a false cycle has never been observed; a
+justified one would carry ``# analysis: allow(lockorder.cycle)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Checker,
+    ClassInfo,
+    Diagnostic,
+    ProjectModel,
+    Rule,
+    dotted_name,
+    register_checker,
+)
+
+__all__ = ["LockOrderChecker"]
+
+#: Constructor names (last dotted component) that create a lock object.
+_LOCK_CTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _camel(attr: str) -> str:
+    """``checkpoint_manager`` → ``CheckpointManager``."""
+    return "".join(part.capitalize() for part in attr.strip("_").split("_"))
+
+
+class _MethodFacts:
+    """What one method does with locks, gathered in a single pass."""
+
+    __slots__ = ("direct", "withs", "calls")
+
+    def __init__(self) -> None:
+        #: Lock node ids this method acquires directly.
+        self.direct: set[str] = set()
+        #: (lock id, with node, locks held at that point)
+        self.withs: list[tuple[str, ast.AST, frozenset[str]]] = []
+        #: (callee key, call node, locks held at that point)
+        self.calls: list[tuple[tuple[int, str], ast.AST, frozenset[str]]] = []
+
+
+@register_checker
+class LockOrderChecker(Checker):
+    """Cross-file acquires-while-holding cycle detection."""
+
+    name = "lockorder"
+    rules = (
+        Rule(
+            id="lockorder.cycle",
+            summary="lock acquisition order forms a cycle (deadlock risk)",
+            hint=(
+                "impose one global acquisition order and document it, or "
+                "release the outer lock before taking the inner one"
+            ),
+        ),
+    )
+
+    def check_project(self, project: ProjectModel) -> Iterator[Diagnostic]:
+        class_locks: dict[int, set[str]] = {}
+        attr_types: dict[int, dict[str, ClassInfo]] = {}
+        class_methods: dict[
+            int, dict[str, ast.FunctionDef | ast.AsyncFunctionDef]
+        ] = {}
+        for info in project.classes:
+            locks, attrs = self._harvest_init(project, info)
+            class_locks[id(info)] = locks
+            attr_types[id(info)] = attrs
+            methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+            for item in info.node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.setdefault(item.name, item)
+            class_methods[id(info)] = methods
+
+        facts: dict[tuple[int, str], _MethodFacts] = {}
+        owner: dict[tuple[int, str], ClassInfo] = {}
+        for info in project.classes:
+            for name, method in class_methods[id(info)].items():
+                key = (id(info), name)
+                facts[key] = self._scan_method(
+                    info, method, class_locks, attr_types, class_methods
+                )
+                owner[key] = info
+
+        # Transitive acquire sets: fixpoint over the call graph.
+        trans = {key: set(f.direct) for key, f in facts.items()}
+        changed = True
+        while changed:
+            changed = False
+            for key, f in facts.items():
+                for callee, _node, _held in f.calls:
+                    extra = trans.get(callee)
+                    if extra and not extra <= trans[key]:
+                        trans[key] |= extra
+                        changed = True
+
+        # Edges: held lock -> acquired lock, with their source sites.
+        edges: dict[tuple[str, str], list[tuple[ClassInfo, ast.AST]]] = {}
+
+        def add_edge(
+            held: frozenset[str], acquired: set[str] | frozenset[str],
+            info: ClassInfo, node: ast.AST,
+        ) -> None:
+            for a in held:
+                for b in acquired:
+                    edges.setdefault((a, b), []).append((info, node))
+
+        for key, f in facts.items():
+            info = owner[key]
+            for lock_id, node, held in f.withs:
+                add_edge(held, {lock_id}, info, node)
+            for callee, node, held in f.calls:
+                if held:
+                    add_edge(held, trans.get(callee, set()), info, node)
+
+        bad = self._cyclic_nodes(edges)
+        seen: set[tuple[str, str, str, int]] = set()
+        diags: list[Diagnostic] = []
+        for (a, b), sites in sorted(edges.items()):
+            component = bad.get(a)
+            if component is None or b not in component:
+                continue
+            cycle = " -> ".join(sorted(component))
+            for info, node in sites:
+                marker = (a, b, info.module.relpath, node.lineno)
+                if marker in seen:
+                    continue
+                seen.add(marker)
+                diags.append(
+                    self.diagnostic(
+                        info.module,
+                        node,
+                        "lockorder.cycle",
+                        f"acquiring {b} while holding {a} closes a "
+                        f"lock-order cycle ({cycle})",
+                    )
+                )
+        yield from diags
+
+    # ------------------------------------------------------------------
+    # Harvesting
+    # ------------------------------------------------------------------
+    def _harvest_init(
+        self, project: ProjectModel, info: ClassInfo
+    ) -> tuple[set[str], dict[str, ClassInfo]]:
+        """Lock attributes and composed-object attribute types."""
+        locks: set[str] = set()
+        attrs: dict[str, ClassInfo] = {}
+        init = info.methods.get("__init__")
+        if init is None:
+            return locks, attrs
+        for stmt in ast.walk(init):
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            attr = _self_attr(stmt.targets[0])
+            if attr is None:
+                continue
+            value = stmt.value
+            if isinstance(value, ast.Call):
+                ctor = dotted_name(value.func).split(".")[-1]
+                if ctor in _LOCK_CTORS:
+                    locks.add(attr)
+                    continue
+                candidates = project.find_classes(ctor)
+                if len(candidates) == 1:
+                    attrs[attr] = candidates[0]
+                    continue
+            # Convention fallback: self.checkpoint_manager -> the
+            # project's CheckpointManager (only when unambiguous).
+            candidates = project.find_classes(_camel(attr))
+            if len(candidates) == 1:
+                attrs.setdefault(attr, candidates[0])
+        return locks, attrs
+
+    def _scan_method(
+        self,
+        info: ClassInfo,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_locks: dict[int, set[str]],
+        attr_types: dict[int, dict[str, ClassInfo]],
+        class_methods: dict[
+            int, dict[str, ast.FunctionDef | ast.AsyncFunctionDef]
+        ],
+    ) -> _MethodFacts:
+        facts = _MethodFacts()
+        locks = class_locks[id(info)]
+        attrs = attr_types[id(info)]
+        methods = class_methods[id(info)]
+
+        def resolve_call(call: ast.Call) -> tuple[int, str] | None:
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                return None
+            attr = _self_attr(func)
+            if attr is not None:
+                # self.m(...) — same-class method
+                if attr in methods:
+                    return (id(info), attr)
+                return None
+            inner = _self_attr(func.value)
+            if inner is not None and inner in attrs:
+                target = attrs[inner]
+                if func.attr in class_methods.get(id(target), {}):
+                    return (id(target), func.attr)
+            return None
+
+        def scan(node: ast.AST, held: frozenset[str]) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                current = held
+                for item in node.items:
+                    scan(item.context_expr, current)
+                    attr = _self_attr(item.context_expr)
+                    if attr is not None and attr in locks:
+                        lock_id = f"{info.name}.{attr}"
+                        facts.direct.add(lock_id)
+                        facts.withs.append((lock_id, node, current))
+                        current = current | {lock_id}
+                for stmt in node.body:
+                    scan(stmt, current)
+                return
+            if isinstance(node, ast.Call):
+                callee = resolve_call(node)
+                if callee is not None:
+                    facts.calls.append((callee, node, held))
+            for child in ast.iter_child_nodes(node):
+                scan(child, held)
+
+        for stmt in method.body:
+            scan(stmt, frozenset())
+        return facts
+
+    # ------------------------------------------------------------------
+    # Cycle detection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cyclic_nodes(
+        edges: dict[tuple[str, str], list[tuple[ClassInfo, ast.AST]]],
+    ) -> dict[str, set[str]]:
+        """Node -> its SCC, for nodes inside a cycle (incl. self-loops)."""
+        graph: dict[str, set[str]] = {}
+        for a, b in edges:
+            graph.setdefault(a, set()).add(b)
+            graph.setdefault(b, set())
+
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = [0]
+        components: list[set[str]] = []
+
+        def strongconnect(v: str) -> None:
+            # Iterative Tarjan (explicit stack) to stay recursion-safe.
+            work = [(v, iter(sorted(graph[v])))]
+            index[v] = low[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for w in successors:
+                    if w not in index:
+                        index[w] = low[w] = counter[0]
+                        counter[0] += 1
+                        stack.append(w)
+                        on_stack.add(w)
+                        work.append((w, iter(sorted(graph[w]))))
+                        advanced = True
+                        break
+                    if w in on_stack:
+                        low[node] = min(low[node], index[w])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component: set[str] = set()
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        component.add(w)
+                        if w == node:
+                            break
+                    components.append(component)
+
+        for v in sorted(graph):
+            if v not in index:
+                strongconnect(v)
+
+        bad: dict[str, set[str]] = {}
+        for component in components:
+            is_cycle = len(component) > 1 or any(
+                v in graph[v] for v in component
+            )
+            if is_cycle:
+                for v in component:
+                    bad[v] = component
+        return bad

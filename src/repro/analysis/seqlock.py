@@ -1,0 +1,209 @@
+"""Seqlock / ring protocol rules for ``repro.parallel``.
+
+The multicore backend's O(1) ``query()`` is a *seqlock* read: the
+worker publishes a sequence number around every estimate refresh (odd
+while mutating, even when consistent) and the parent copies the
+estimate slots, then re-reads the sequence to detect a torn snapshot.
+The SPSC ring's correctness similarly hangs on its two u64 cursors
+being written only as single aligned stores. None of this is visible
+to the type system — the protocol lives in call order — so this checker
+enforces its shape structurally, scoped to ``repro/parallel/`` modules:
+
+- ``seqlock.unpaired-publish`` — a writer function must publish the
+  header an even number of times (``set_counters`` begin/end bracket);
+  an odd count means a mutation window is left open.
+- ``seqlock.publish-without-increment`` — every ``set_counters``
+  publication must be preceded (since the previous publication) by a
+  ``+=`` bump of a ``*sequence*`` counter; republishing a stale
+  sequence makes a torn read undetectable.
+- ``seqlock.reader-recheck`` — a reader that touches ``estimates()``
+  (and is not itself the writer, i.e. never calls ``set_counters``)
+  must read ``counters()`` at least twice, with the last read *after*
+  the estimates access: check, copy, re-check.
+- ``seqlock.raw-cursor`` — ring cursor bytes may only be touched
+  through the blessed accessors (``_head``/``_tail``/``_set_head``/
+  ``_set_tail``); any other ``*CURSOR*.pack_into``/``unpack_from`` is
+  a torn-store hazard waiting for a refactor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Checker,
+    Diagnostic,
+    ModuleInfo,
+    ProjectModel,
+    Rule,
+    dotted_name,
+    register_checker,
+)
+
+__all__ = ["SeqlockChecker"]
+
+#: Path marker scoping these rules to the multicore backend.
+_PARALLEL_MARKER = "repro/parallel/"
+
+#: Functions allowed to touch raw ring cursor bytes.
+_BLESSED_CURSOR_FNS = frozenset({"_head", "_tail", "_set_head", "_set_tail"})
+
+_STRUCT_IO = frozenset({"pack_into", "unpack_from"})
+
+
+class _FunctionEvents:
+    """Protocol-relevant events inside one function body (nested defs
+    excluded — they are collected as their own functions)."""
+
+    def __init__(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self.publishes: list[ast.Call] = []  # .set_counters(...)
+        self.counter_reads: list[ast.Call] = []  # .counters()
+        self.estimate_reads: list[ast.Call] = []  # .estimates()
+        self.increments: list[int] = []  # linenos of *sequence* += ...
+        #: (call node, "pack_into"/"unpack_from") on a *CURSOR* struct
+        self.cursor_io: list[tuple[ast.Call, str]] = []
+        for stmt in func.body:
+            self._walk(stmt)
+
+    def _walk(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            target = dotted_name(node.target).split(".")[-1]
+            if "sequence" in target or "seq" == target.strip("_"):
+                self.increments.append(node.lineno)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr == "set_counters":
+                self.publishes.append(node)
+            elif attr == "counters":
+                self.counter_reads.append(node)
+            elif attr == "estimates":
+                self.estimate_reads.append(node)
+            elif attr in _STRUCT_IO:
+                receiver = dotted_name(node.func.value).split(".")[-1]
+                if "CURSOR" in receiver:
+                    self.cursor_io.append((node, attr))
+        for child in ast.iter_child_nodes(node):
+            self._walk(child)
+
+
+@register_checker
+class SeqlockChecker(Checker):
+    """Seqlock bracket / reader re-check / cursor accessor discipline."""
+
+    name = "seqlock"
+    rules = (
+        Rule(
+            id="seqlock.unpaired-publish",
+            summary="odd number of seqlock publications in one function",
+            hint=(
+                "bracket the mutation: bump the sequence (odd) + publish, "
+                "mutate, bump (even) + publish"
+            ),
+        ),
+        Rule(
+            id="seqlock.publish-without-increment",
+            summary="seqlock published without bumping the sequence first",
+            hint=(
+                "increment the sequence counter (self._sequence += 1) "
+                "before every set_counters publication"
+            ),
+        ),
+        Rule(
+            id="seqlock.reader-recheck",
+            summary="seqlock snapshot not re-validated after the copy",
+            hint=(
+                "read counters(), check parity, copy estimates(), then "
+                "re-read counters() and retry if the sequence moved"
+            ),
+        ),
+        Rule(
+            id="seqlock.raw-cursor",
+            summary="ring cursor bytes accessed outside blessed accessors",
+            hint=(
+                "go through _head/_tail/_set_head/_set_tail — single "
+                "aligned u64 copies that cannot tear"
+            ),
+        ),
+    )
+
+    def check_module(
+        self, module: ModuleInfo, project: ProjectModel
+    ) -> Iterator[Diagnostic]:
+        if _PARALLEL_MARKER not in module.relpath:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Diagnostic]:
+        events = _FunctionEvents(func)
+
+        # Writer bracket: even number of publications.
+        if len(events.publishes) % 2 == 1:
+            yield self.diagnostic(
+                module,
+                events.publishes[-1],
+                "seqlock.unpaired-publish",
+                f"{func.name!r} publishes the seqlock header "
+                f"{len(events.publishes)} time(s); writers must bracket "
+                f"mutations with a begin/end publication pair",
+            )
+
+        # Every publication is preceded by a sequence bump.
+        previous_publish_line = 0
+        for publish in sorted(events.publishes, key=lambda c: c.lineno):
+            bumped = any(
+                previous_publish_line < lineno <= publish.lineno
+                for lineno in events.increments
+            )
+            if not bumped:
+                yield self.diagnostic(
+                    module,
+                    publish,
+                    "seqlock.publish-without-increment",
+                    f"set_counters(...) in {func.name!r} republishes a "
+                    f"stale sequence — no `*sequence* += 1` since the "
+                    f"previous publication",
+                )
+            previous_publish_line = publish.lineno
+
+        # Reader re-check: check, copy, re-check (writers exempt).
+        if events.estimate_reads and not events.publishes:
+            last_estimates = max(c.lineno for c in events.estimate_reads)
+            counter_lines = [c.lineno for c in events.counter_reads]
+            validated = (
+                len(counter_lines) >= 2
+                and max(counter_lines) > last_estimates
+            )
+            if not validated:
+                anchor = min(
+                    events.estimate_reads, key=lambda c: c.lineno
+                )
+                yield self.diagnostic(
+                    module,
+                    anchor,
+                    "seqlock.reader-recheck",
+                    f"{func.name!r} copies estimates() without re-reading "
+                    f"counters() afterwards — a torn snapshot would go "
+                    f"undetected",
+                )
+
+        # Raw cursor access outside the blessed accessors.
+        if func.name not in _BLESSED_CURSOR_FNS:
+            for call, operation in events.cursor_io:
+                yield self.diagnostic(
+                    module,
+                    call,
+                    "seqlock.raw-cursor",
+                    f"raw cursor {operation} in {func.name!r}; ring "
+                    f"cursors move only through the blessed accessors",
+                )

@@ -48,6 +48,7 @@ import struct
 import tempfile
 import time
 import zlib
+from typing import Any, TypeVar, cast
 
 from repro.estimators.base import CardinalityEstimator
 from repro.engine.shards import ShardPool, estimator_registry
@@ -67,10 +68,12 @@ _VERSION = 1
 
 #: Extra checkpointable classes registered by higher layers — see
 #: :func:`register_checkpointable`.
-_EXTRA_CHECKPOINTABLE: dict[str, type] = {}
+_EXTRA_CHECKPOINTABLE: dict[str, type[Any]] = {}
+
+_C = TypeVar("_C")
 
 
-def register_checkpointable(cls: type) -> type:
+def register_checkpointable(cls: type[_C]) -> type[_C]:
     """Register a class for :func:`save`/:func:`load` round-trips.
 
     The class must implement ``to_bytes() -> bytes`` and the classmethod
@@ -87,9 +90,9 @@ def register_checkpointable(cls: type) -> type:
     return cls
 
 
-def _registry() -> dict[str, type]:
+def _registry() -> dict[str, type[Any]]:
     """The estimator registry extended with the pool type itself."""
-    registry = estimator_registry()
+    registry: dict[str, type[Any]] = dict(estimator_registry())
     registry[ShardPool.__name__] = ShardPool
     registry.update(_EXTRA_CHECKPOINTABLE)
     return registry
@@ -131,7 +134,7 @@ def _fsync_directory(directory: str) -> None:
 
 def save(
     estimator: CardinalityEstimator,
-    path: str | os.PathLike,
+    path: str | os.PathLike[str],
     sync_directory: bool = True,
 ) -> int:
     """Atomically write an estimator snapshot; returns bytes written.
@@ -200,7 +203,7 @@ def save(
     return len(blob)
 
 
-def load(path: str | os.PathLike) -> CardinalityEstimator:
+def load(path: str | os.PathLike[str]) -> CardinalityEstimator:
     """Load, validate and restore a checkpoint written by :func:`save`.
 
     Raises ``ValueError`` for anything that is not a complete, intact
@@ -242,7 +245,9 @@ def load(path: str | os.PathLike) -> CardinalityEstimator:
     cls = _registry().get(class_name)
     if cls is None:
         raise ValueError(f"unknown checkpoint class {class_name!r}")
-    estimator = cls.from_bytes(payload)
+    # Registered extras (register_checkpointable) satisfy the same
+    # to_bytes/from_bytes surface without subclassing the base.
+    estimator = cast(CardinalityEstimator, cls.from_bytes(payload))
     if obs.enabled:
         obs.counter(
             "repro_checkpoint_load_bytes_total",

@@ -208,6 +208,7 @@ def _run(args: "argparse.Namespace") -> int:
         manager = CheckpointManager(args.checkpoint_dir, keep=args.keep)
 
     if args.resume:
+        assert manager is not None  # --resume requires --checkpoint-dir
         try:
             pool, generation = manager.load_latest()
         except RecoveryError as exc:
@@ -241,6 +242,7 @@ def _run(args: "argparse.Namespace") -> int:
             design_cardinality=args.design_cardinality,
             seed=args.seed,
         )
+        assert isinstance(pool, ShardPool)  # thread backend (no workers)
 
     length = int(round(args.items * args.duplication))
     if length > args.items:

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.hashing import UniformHash, canonical_u64_array
 from repro.kernels import HashPlane, positions_request
+from repro.kernels.plane import PlaneRequest
 
 #: Seed offset of the partition hash, distinct from every offset the
 #: estimators use (SMB position 0x504F53, LogLog/HLL geometric 0x47454F),
@@ -103,7 +104,7 @@ class Partitioner:
             for k in range(self.num_shards)
         ]
 
-    def plane_request(self) -> tuple:
+    def plane_request(self) -> PlaneRequest:
         """The routing hash as a plane request (modulus ``num_shards``)."""
         return positions_request(self._hash.seed, self.num_shards)
 

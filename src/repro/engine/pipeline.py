@@ -83,7 +83,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 import numpy as np
 
@@ -94,7 +94,14 @@ from repro.obs.metrics import get_registry
 from repro.testing.faults import fire
 
 if TYPE_CHECKING:  # import cycle guard: recovery imports checkpoint
+    from types import TracebackType
+
     from repro.engine.recovery import CheckpointManager, Generation
+    from repro.obs.instrument import (
+        ParallelMetrics,
+        PipelineMetrics,
+        PoolObserver,
+    )
 
 #: Default chunk size of the submit path — same order as SMB's dedup
 #: window (``repro.core.smb.BATCH_CHUNK``), large enough to amortize
@@ -165,15 +172,15 @@ class IngestPipeline:
         self.pool = pool
         self.chunk_size = int(chunk_size)
         self.workers = int(workers)
-        self.records_submitted = 0
-        self._records_applied = 0
-        self.records_dropped = 0
+        self.records_submitted = 0  # guarded-by: _count_lock
+        self._records_applied = 0  # guarded-by: _count_lock
+        self.records_dropped = 0  # guarded-by: _count_lock
         self.checkpoint_manager = checkpoint_manager
         self.checkpoint_every = int(checkpoint_every)
         #: Optional ``() -> dict`` hook merged into every periodic
         #: checkpoint's metadata (e.g. an absolute stream offset).
-        self.checkpoint_meta: Callable[[], dict] | None = None
-        self._records_since_checkpoint = 0
+        self.checkpoint_meta: Callable[[], dict[str, Any]] | None = None
+        self._records_since_checkpoint = 0  # guarded-by: _count_lock
         # One lock for every counter that more than one thread writes:
         # submitted / applied / dropped / since-checkpoint / the pool's
         # routing-hash ops. Producers may be an executor pool, so the
@@ -189,7 +196,9 @@ class IngestPipeline:
             )
         else:
             self._backend = None
-        self._queues: list[queue.Queue] = [] if self._backend else [
+        # Each queue carries gathered per-shard HashPlane sub-batches
+        # plus the _STOP sentinel, hence Any.
+        self._queues: list[queue.Queue[Any]] = [] if self._backend else [
             queue.Queue(maxsize=queue_depth) for __ in pool.shards
         ]
         self._errors: list[BaseException] = []
@@ -201,16 +210,20 @@ class IngestPipeline:
         # so a checkpoint drains a stable, chunk-aligned state even with
         # concurrent producers.
         self._lifecycle = threading.Condition()
-        self._active_submits = 0
-        self._paused = 0
+        self._active_submits = 0  # guarded-by: _lifecycle
+        self._paused = 0  # guarded-by: _lifecycle
         # Serializes checkpoint writers; the periodic trigger inside
         # submit try-acquires it so two producers crossing the threshold
         # together cannot deadlock waiting for each other to quiesce.
         self._checkpoint_mutex = threading.Lock()
         self._close_complete = threading.Event()
-        self._closed = False
+        self._closed = False  # guarded-by: _lifecycle
         registry = get_registry()
-        self._parallel_obs = None
+        self._obs: "PipelineMetrics | None" = None
+        #: Per-shard estimate/skew gauges (None when obs disabled);
+        #: call ``pool_observer.update()`` at safe points.
+        self.pool_observer: "PoolObserver | None" = None
+        self._parallel_obs: "ParallelMetrics | None" = None
         if registry.enabled:
             from repro.obs.instrument import (
                 ParallelMetrics,
@@ -219,16 +232,11 @@ class IngestPipeline:
             )
 
             self._obs = PipelineMetrics(registry, pool.num_shards)
-            #: Per-shard estimate/skew gauges (None when obs disabled);
-            #: call ``pool_observer.update()`` at safe points.
             self.pool_observer = PoolObserver(registry, pool)
             if self._backend is not None:
                 self._parallel_obs = ParallelMetrics(
                     registry, self._backend.num_workers
                 )
-        else:
-            self._obs = None
-            self.pool_observer = None
         self._workers = [] if self._backend else [
             threading.Thread(
                 target=self._work,
@@ -304,7 +312,8 @@ class IngestPipeline:
         a live read of the workers' shared-memory counters (no IPC)."""
         if self._backend is not None:
             return self._backend.records_applied
-        return self._records_applied
+        with self._count_lock:
+            return self._records_applied
 
     # ------------------------------------------------------------------
     # Producer side
@@ -438,7 +447,9 @@ class IngestPipeline:
                         self._checkpoint_mutex.release()
         return enqueued
 
-    def checkpoint_now(self, meta: dict | None = None) -> "Generation":
+    def checkpoint_now(
+        self, meta: dict[str, Any] | None = None
+    ) -> "Generation":
         """Drain to a safe point and write one checkpoint generation.
 
         Requires a ``checkpoint_manager``. Producers are quiesced
@@ -456,7 +467,7 @@ class IngestPipeline:
             return self._checkpoint_quiesced(meta, active_allowance=0)
 
     def _checkpoint_quiesced(
-        self, meta: dict | None, active_allowance: int
+        self, meta: dict[str, Any] | None, active_allowance: int
     ) -> "Generation":
         """Quiesce producers, drain, save one generation, resume.
 
@@ -476,12 +487,13 @@ class IngestPipeline:
         try:
             self.drain()
             self.sync_pool()
-            merged: dict = {}
+            merged: dict[str, Any] = {}
             if self.checkpoint_meta is not None:
                 merged.update(self.checkpoint_meta())
             if meta:
                 merged.update(meta)
-            merged.setdefault("records_submitted", self.records_submitted)
+            with self._count_lock:
+                merged.setdefault("records_submitted", self.records_submitted)
             generation = self.checkpoint_manager.save(self.pool, meta=merged)
             with self._count_lock:
                 self._records_since_checkpoint = 0
@@ -491,7 +503,9 @@ class IngestPipeline:
                 self._paused -= 1
                 self._lifecycle.notify_all()
 
-    def _put_observed(self, shard_index: int, part, obs) -> None:
+    def _put_observed(
+        self, shard_index: int, part: HashPlane, obs: "PipelineMetrics"
+    ) -> None:
         """Enqueue one sub-batch, timing any backpressure stall."""
         inbox = self._queues[shard_index]
         try:
@@ -626,16 +640,28 @@ class IngestPipeline:
         """Enter: the pipeline is usable immediately after construction."""
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: "TracebackType | None",
+    ) -> None:
         """Exit: close the pipeline (always drains — on a worker
         failure the remaining queue entries drain as counted drops)."""
         self.close()
 
     def __repr__(self) -> str:
+        # analysis: allow(guards.unguarded-access) -- diagnostic repr:
+        # lock-free reads of GIL-atomic ints/bools. A momentarily stale
+        # value is fine here, and taking locks in repr would let a
+        # debugger contend with the ingest path.
+        submitted = self.records_submitted
+        # analysis: allow(guards.unguarded-access) -- same repr waiver
+        dropped = self.records_dropped
+        # analysis: allow(guards.unguarded-access) -- same repr waiver
+        closed = self._closed
         return (
             f"IngestPipeline(shards={self.pool.num_shards}, "
             f"chunk_size={self.chunk_size}, "
-            f"submitted={self.records_submitted}, "
-            f"dropped={self.records_dropped}, "
-            f"closed={self._closed})"
+            f"submitted={submitted}, dropped={dropped}, closed={closed})"
         )

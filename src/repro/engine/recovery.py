@@ -49,12 +49,15 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.engine import checkpoint
 from repro.estimators.base import CardinalityEstimator
 from repro.obs.metrics import get_registry
 from repro.testing.faults import fire
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.instrument import RecoveryMetrics
 
 __all__ = [
     "CheckpointManager",
@@ -206,7 +209,7 @@ class Generation:
     generation: int
     path: str
     size: int
-    meta: dict = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
     manifested: bool = True
 
 
@@ -239,7 +242,7 @@ class CheckpointManager:
 
     def __init__(
         self,
-        directory: str | os.PathLike,
+        directory: str | os.PathLike[str],
         keep: int = 3,
         retry: RetryPolicy | None = None,
         orphan_grace: float = 60.0,
@@ -256,12 +259,11 @@ class CheckpointManager:
         self.sync_directory = bool(sync_directory)
         self._lock = threading.Lock()
         registry = get_registry()
+        self._obs: "RecoveryMetrics | None" = None
         if registry.enabled:
             from repro.obs.instrument import RecoveryMetrics
 
             self._obs = RecoveryMetrics(registry)
-        else:
-            self._obs = None
         os.makedirs(self.directory, exist_ok=True)
         self.sweep_orphans()
 
@@ -271,7 +273,7 @@ class CheckpointManager:
     def save(
         self,
         estimator: CardinalityEstimator,
-        meta: dict | None = None,
+        meta: dict[str, Any] | None = None,
     ) -> Generation:
         """Write the next generation, publish it, rotate old ones.
 
@@ -345,7 +347,10 @@ class CheckpointManager:
         """
         obs = self._obs
         began = time.perf_counter() if obs is not None else 0.0
-        candidates = list(reversed(self._merged_generations()))
+        # Same lock as save(): a load racing a concurrent save must not
+        # scan the directory mid-rotation and chase a just-pruned file.
+        with self._lock:
+            candidates = list(reversed(self._merged_generations()))
         failures: list[str] = []
         for candidate in candidates:
             try:

@@ -38,6 +38,7 @@ from typing import Callable
 from repro.estimators.base import CardinalityEstimator
 from repro.engine.partition import Partitioner
 from repro.kernels import HashPlane
+from repro.kernels.plane import PlaneRequest
 
 _HEADER = struct.Struct("<4sHIQ")  # magic, version, num_shards, seed
 _SHARD_HEADER = struct.Struct("<BQ")  # class-name length, payload length
@@ -45,7 +46,7 @@ _MAGIC = b"POOL"
 _VERSION = 1
 
 
-def estimator_registry() -> dict[str, type]:
+def estimator_registry() -> dict[str, type[CardinalityEstimator]]:
     """Class-name → class map of every serializable estimator.
 
     Used by the pool (and the checkpoint layer) to reconstruct shard
@@ -205,7 +206,7 @@ class ShardPool(CardinalityEstimator):
             self._route_hash_ops += 1
         self.shards[self.partitioner.shard_of(value)]._record_u64(value)
 
-    def plane_requests(self) -> tuple:
+    def plane_requests(self) -> tuple[PlaneRequest, ...]:
         """Routing hash plus every request shared by all shards.
 
         Requests unique to a subset of shards are left out: they are
@@ -214,10 +215,10 @@ class ShardPool(CardinalityEstimator):
         shard the same estimator seed, so there the full request set is
         prefetched and the shards never hash at all.
         """
-        requests: list[tuple] = []
+        requests: list[PlaneRequest] = []
         if self.num_shards > 1:
             requests.append(self.partitioner.plane_request())
-        counts: dict[tuple, int] = {}
+        counts: dict[PlaneRequest, int] = {}
         for shard in self.shards:
             for request in dict.fromkeys(shard.plane_requests()):
                 counts[request] = counts.get(request, 0) + 1
@@ -282,6 +283,7 @@ class ShardPool(CardinalityEstimator):
         shards — additivity is preserved.
         """
         self._check_mergeable(other)
+        assert isinstance(other, ShardPool)  # _check_mergeable guarantees it
         if (other.num_shards, other.seed) != (self.num_shards, self.seed):
             raise ValueError(
                 "can only merge pools with the same shard count and "

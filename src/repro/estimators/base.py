@@ -141,6 +141,20 @@ class CardinalityEstimator(ABC):
             f"{type(self).__name__} does not support serialization"
         )
 
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CardinalityEstimator":
+        """Restore an estimator serialized by :meth:`to_bytes`.
+
+        The counterpart capability to :meth:`to_bytes`: every
+        serializable estimator overrides both, and the checkpoint and
+        worker layers resolve classes through
+        :func:`~repro.engine.shards.estimator_registry` before calling
+        this.
+        """
+        raise NotImplementedError(
+            f"{cls.__name__} does not support serialization"
+        )
+
     def _check_mergeable(self, other: "CardinalityEstimator") -> None:
         if type(other) is not type(self):
             raise TypeError(

@@ -70,7 +70,7 @@ class Counter:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0) to the total."""
@@ -82,6 +82,9 @@ class Counter:
     @property
     def value(self) -> float:
         """The current total."""
+        # analysis: allow(guards.unguarded-access) -- lock-free read of
+        # a single float reference; the GIL makes it untearable, and a
+        # scrape observing a value one inc stale is correct behaviour.
         return self._value
 
 
@@ -92,7 +95,7 @@ class Gauge:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
 
     def set(self, value: float) -> None:
         """Replace the current value."""
@@ -111,6 +114,8 @@ class Gauge:
     @property
     def value(self) -> float:
         """The current value."""
+        # analysis: allow(guards.unguarded-access) -- same single-read
+        # waiver as Counter.value: GIL-atomic, staleness is fine.
         return self._value
 
 
@@ -138,9 +143,10 @@ class Histogram:
             raise ValueError("bucket bounds must be finite (+Inf is implicit)")
         self._lock = threading.Lock()
         self.bounds = bounds
-        self._counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
-        self._count = 0
-        self._sum = 0.0
+        # +1 for the +Inf bucket  # guarded-by: _lock
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -163,11 +169,15 @@ class Histogram:
     @property
     def count(self) -> int:
         """Total number of observations."""
+        # analysis: allow(guards.unguarded-access) -- single GIL-atomic
+        # int read; a scrape one observation stale is fine.
         return self._count
 
     @property
     def sum(self) -> float:
         """Sum of all observed values."""
+        # analysis: allow(guards.unguarded-access) -- single GIL-atomic
+        # float read; same staleness waiver as count.
         return self._sum
 
     def cumulative_buckets(self) -> list[tuple[float, int]]:
@@ -245,7 +255,7 @@ class MetricFamily:
         self.label_names = tuple(label_names)
         self._buckets = tuple(buckets)
         self._lock = threading.Lock()
-        self._children: dict[tuple[str, ...], object] = {}
+        self._children: dict[tuple[str, ...], object] = {}  # guarded-by: _lock
 
     def labels(self, **labels: str) -> object:
         """The child instrument for one label-value combination."""
@@ -255,6 +265,11 @@ class MetricFamily:
                 f"got {tuple(sorted(labels))}"
             )
         key = tuple(str(labels[name]) for name in self.label_names)
+        # analysis: allow(guards.unguarded-access) -- double-checked
+        # fast path: a lock-free .get() on a dict the GIL keeps
+        # internally consistent; the authoritative insert below is a
+        # setdefault under the lock, so a miss here only costs the
+        # slow path, never correctness.
         child = self._children.get(key)
         if child is None:
             with self._lock:
@@ -290,7 +305,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._families: dict[str, MetricFamily] = {}
+        self._families: dict[str, MetricFamily] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Family accessors

@@ -36,7 +36,7 @@ import itertools
 import multiprocessing
 import os
 import struct
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable, NoReturn
 
 import numpy as np
 
@@ -48,7 +48,10 @@ from repro.parallel.shm import WorkerArena
 from repro.parallel.worker import worker_main
 
 if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing.connection import Connection
     from multiprocessing.context import BaseContext
+    from multiprocessing.process import BaseProcess
+    from types import TracebackType
 
 __all__ = ["DEFAULT_RING_BYTES", "ProcessShardPool", "WorkerCrashedError"]
 
@@ -140,8 +143,8 @@ class ProcessShardPool(CardinalityEstimator):
         self._final_query = 0.0
         self._rings: list[ShmRing] = []
         self._arenas: list[WorkerArena] = []
-        self._connections = []
-        self._processes = []
+        self._connections: list["Connection"] = []
+        self._processes: list["BaseProcess"] = []
         self.plane_bytes: list[int] = []
         try:
             self._start_workers(context)
@@ -156,7 +159,7 @@ class ProcessShardPool(CardinalityEstimator):
             arena = WorkerArena.create(local)
             ring = ShmRing.create(self.ring_bytes)
             parent_end, child_end = context.Pipe()
-            spec = {
+            spec: dict[str, Any] = {
                 "shards": [
                     (type(shard).__name__, shard.to_bytes())
                     for shard in local
@@ -187,7 +190,7 @@ class ProcessShardPool(CardinalityEstimator):
     def _alive(self, worker_index: int) -> Callable[[], bool]:
         return self._processes[worker_index].is_alive
 
-    def _fail(self, worker_index: int, detail: str = "") -> None:
+    def _fail(self, worker_index: int, detail: str = "") -> NoReturn:
         self._crashed = (
             f"shard worker {worker_index} "
             f"(shards {self.ranges[worker_index]}) died"
@@ -201,7 +204,12 @@ class ProcessShardPool(CardinalityEstimator):
         if self._crashed:
             raise WorkerCrashedError(self._crashed)
 
-    def _receive(self, worker_index: int, expected_kind: str, token: int | None = None):
+    def _receive(
+        self,
+        worker_index: int,
+        expected_kind: str,
+        token: int | None = None,
+    ) -> tuple[Any, ...]:
         """Next control reply of the expected kind from one worker."""
         connection = self._connections[worker_index]
         while True:
@@ -386,9 +394,9 @@ class ProcessShardPool(CardinalityEstimator):
             int(arena.counters()[0]) for arena in self._arenas
         )
 
-    def worker_metrics(self) -> list[dict]:
+    def worker_metrics(self) -> list[dict[str, object]]:
         """Per-worker health snapshot (queue depth, counters, bytes)."""
-        metrics = []
+        metrics: list[dict[str, object]] = []
         for worker_index, (lo, hi) in enumerate(self.ranges):
             batches, records, __ = self._arenas[worker_index].counters()
             metrics.append({
@@ -419,7 +427,7 @@ class ProcessShardPool(CardinalityEstimator):
         design_cardinality: int = 1_000_000,
         seed: int = 0,
         workers: int = 2,
-        **kwargs,
+        **kwargs: Any,
     ) -> "ProcessShardPool":
         """Build a process-backed pool with ``ShardPool.of`` sizing."""
         pool = ShardPool.of(
@@ -476,7 +484,12 @@ class ProcessShardPool(CardinalityEstimator):
     def __enter__(self) -> "ProcessShardPool":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: "TracebackType | None",
+    ) -> None:
         self.close()
 
     def __repr__(self) -> str:

@@ -93,7 +93,12 @@ class ShmRing:
     creating side owns the segment and must :meth:`unlink` it.
     """
 
-    def __init__(self, segment, capacity: int, owner: bool) -> None:
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        capacity: int,
+        owner: bool,
+    ) -> None:
         self._segment = segment
         self._capacity = int(capacity)
         self._owner = bool(owner)
@@ -114,12 +119,12 @@ class ShmRing:
         return cls(segment, capacity, owner=True)
 
     @classmethod
-    def attach(cls, handle: tuple) -> "ShmRing":
+    def attach(cls, handle: tuple[str, int]) -> "ShmRing":
         """Reconstruct the consumer end from :meth:`handle` (worker side)."""
         name, capacity = handle
         return cls(attach_segment(name), capacity, owner=False)
 
-    def handle(self) -> tuple:
+    def handle(self) -> tuple[str, int]:
         """Picklable descriptor ``(name, capacity)``."""
         return (self._segment.name, self._capacity)
 
@@ -132,10 +137,10 @@ class ShmRing:
     # Cursor and data access
     # ------------------------------------------------------------------
     def _head(self) -> int:
-        return _CURSOR.unpack_from(self._buffer, _HEAD_OFFSET)[0]
+        return int(_CURSOR.unpack_from(self._buffer, _HEAD_OFFSET)[0])
 
     def _tail(self) -> int:
-        return _CURSOR.unpack_from(self._buffer, _TAIL_OFFSET)[0]
+        return int(_CURSOR.unpack_from(self._buffer, _TAIL_OFFSET)[0])
 
     def _set_head(self, head: int) -> None:
         _CURSOR.pack_into(self._buffer, _HEAD_OFFSET, head)
@@ -233,7 +238,9 @@ class ShmRing:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Release this process's mapping (both sides)."""
-        self._buffer = None
+        # Drop the segment reference behind a typed empty view so the
+        # buffer release below can succeed.
+        self._buffer = memoryview(b"")
         try:
             self._segment.close()
         except BufferError:  # pragma: no cover - exported views still alive

@@ -122,7 +122,12 @@ class WorkerArena:
     :meth:`adopt`\\ s their plane arrays into the plane region.
     """
 
-    def __init__(self, segment, num_slots: int, owner: bool) -> None:
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        num_slots: int,
+        owner: bool,
+    ) -> None:
         self._segment = segment
         self._owner = bool(owner)
         self.num_slots = int(num_slots)
@@ -145,12 +150,12 @@ class WorkerArena:
         return cls(segment, num_slots, owner=True)
 
     @classmethod
-    def attach(cls, handle: tuple) -> "WorkerArena":
+    def attach(cls, handle: tuple[str, int]) -> "WorkerArena":
         """Reconstruct the worker end from :meth:`handle`."""
         name, num_slots = handle
         return cls(attach_segment(name), num_slots, owner=False)
 
-    def handle(self) -> tuple:
+    def handle(self) -> tuple[str, int]:
         """Picklable descriptor ``(name, num_slots)``."""
         return (self._segment.name, self.num_slots)
 
@@ -164,7 +169,10 @@ class WorkerArena:
     # ------------------------------------------------------------------
     def counters(self) -> tuple[int, int, int]:
         """``(batches_applied, records_applied, sequence)``."""
-        return _COUNTERS.unpack_from(self._segment.buf, 0)
+        batches, records, sequence = _COUNTERS.unpack_from(
+            self._segment.buf, 0
+        )
+        return int(batches), int(records), int(sequence)
 
     def set_counters(self, batches: int, records: int, sequence: int) -> None:
         """Write the header counters (worker side; see module docstring)."""
@@ -207,7 +215,9 @@ class WorkerArena:
     def close(self) -> None:
         """Release this process's mapping (best-effort: adopted views
         held by live estimators keep the mapping pinned until exit)."""
-        self._estimates = None
+        # Drop the segment-backed view behind a typed empty array so
+        # the buffer release below can succeed.
+        self._estimates = np.ndarray((0,), dtype=np.float64)
         try:
             self._segment.close()
         except BufferError:  # pragma: no cover - adopted views still alive

@@ -39,11 +39,14 @@ from __future__ import annotations
 
 import struct
 import traceback
+from typing import Any, Iterable
 
 import numpy as np
 
 from repro.engine.shards import estimator_registry
+from repro.estimators.base import CardinalityEstimator
 from repro.kernels import HashPlane
+from repro.kernels.plane import PlaneRequest
 from repro.parallel.ring import ShmRing
 from repro.parallel.shm import WorkerArena
 
@@ -51,11 +54,13 @@ _COUNT = struct.Struct("<I")
 _TOKEN = struct.Struct("<Q")
 
 
-def _common_requests(shards: list) -> tuple:
+def _common_requests(
+    shards: list[CardinalityEstimator],
+) -> tuple[PlaneRequest, ...]:
     """Plane requests shared by every local shard (prefetched at full
     message width; the rest compute at sub-plane width) — the same
     prefetch policy as ``ShardPool.plane_requests``."""
-    counts: dict[tuple, int] = {}
+    counts: dict[PlaneRequest, int] = {}
     for shard in shards:
         for request in dict.fromkeys(shard.plane_requests()):
             counts[request] = counts.get(request, 0) + 1
@@ -69,7 +74,7 @@ def _common_requests(shards: list) -> tuple:
 class _WorkerState:
     """One worker's shards, arena and counters."""
 
-    def __init__(self, spec: dict) -> None:
+    def __init__(self, spec: dict[str, Any]) -> None:
         registry = estimator_registry()
         self.shards = [
             registry[class_name].from_bytes(blob)
@@ -84,7 +89,7 @@ class _WorkerState:
         self._sequence = 0
         self.refresh_estimates(range(len(self.shards)))
 
-    def refresh_estimates(self, local_indices) -> None:
+    def refresh_estimates(self, local_indices: Iterable[int]) -> None:
         """Seqlock-guarded refresh of the arena's status header."""
         self._sequence += 1
         self.arena.set_counters(self.batches, self.records, self._sequence)
@@ -129,7 +134,7 @@ class _WorkerState:
         ]
 
 
-def worker_main(spec: dict) -> None:
+def worker_main(spec: dict[str, Any]) -> None:
     """Entry point of one shard worker process (see module docstring)."""
     connection = spec["conn"]
     try:

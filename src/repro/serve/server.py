@@ -96,8 +96,8 @@ class _IngestGate:
     """
 
     def __init__(self) -> None:
-        self._readers = 0
-        self._writer = False
+        self._readers = 0  # guarded-by: _condition
+        self._writer = False  # guarded-by: _condition
         self._condition = asyncio.Condition()
 
     async def acquire_read(self) -> None:

@@ -147,8 +147,8 @@ class FaultPlan:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._armed: dict[str, _Arming] = {}
-        self._hits: dict[str, int] = {}
+        self._armed: dict[str, _Arming] = {}  # guarded-by: _lock
+        self._hits: dict[str, int] = {}  # guarded-by: _lock
 
     def arm(
         self,

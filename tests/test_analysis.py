@@ -831,6 +831,11 @@ class TestShippedTree:
             "dtype.",
             "contract.",
             "serialization.",
+            "guards.",
+            "lockorder.",
+            "asyncio.",
+            "seqlock.",
+            "analysis.",
         ):
             assert family in out
 
