@@ -1,0 +1,14 @@
+"""Cross-node sketch aggregation (see ``docs/merging.md``).
+
+- :mod:`repro.agg.tree` — :func:`tree_reduce` folds any number of
+  compatible sketches (objects or compact wire frames) into one sketch
+  of the union stream; :func:`reduce_estimate` goes straight to the
+  distinct count;
+- :mod:`repro.agg.cli` — the ``repro agg`` subcommand: reduce a set of
+  serving-node addresses, wire-frame files, or checkpoint directories
+  into one global estimate.
+"""
+
+from repro.agg.tree import reduce_estimate, tree_reduce
+
+__all__ = ["reduce_estimate", "tree_reduce"]

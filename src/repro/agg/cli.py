@@ -1,0 +1,180 @@
+"""The ``repro agg`` subcommand: fold node states into one estimate.
+
+Each SOURCE is one of:
+
+- ``HOST:PORT`` — a running ``repro serve`` node; its tenant state is
+  pulled with the EXPORT verb (the server drains the tenant to a safe
+  point first, so the frame is a consistent cut);
+- a file — a compact :mod:`repro.wire` sketch frame (as written by
+  ``--out``, or captured from EXPORT);
+- a directory — a checkpoint directory managed by
+  :class:`~repro.engine.recovery.CheckpointManager`; the newest valid
+  generation's tenant pool is used.
+
+The sources are tree-reduced (:func:`repro.agg.tree_reduce`) into one
+sketch of the union stream and the distinct count is printed as the
+final, machine-parseable line — ``aggregate estimate VALUE``::
+
+    repro agg --tenant flows 10.0.0.1:9464 10.0.0.2:9464
+    repro agg --tenant flows node1.sketch ckpts/ --out merged.sketch
+
+Node and checkpoint sources need ``--tenant``; a tenant absent from a
+source contributes a deterministic empty pool (the merge identity), the
+same semantics as the EXPORT verb. All sources must share the estimator
+configuration — a mismatch fails with the diverging parameter named
+(see docs/merging.md for the compatibility contract).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+
+from repro.agg.tree import tree_reduce
+from repro.wire import encode_sketch, frame_info
+
+__all__ = ["agg_main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro agg`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro agg",
+        description=(
+            "Tree-reduce sketch state from serving nodes, wire-frame "
+            "files and checkpoint directories into one global distinct "
+            "count (see docs/merging.md)."
+        ),
+    )
+    parser.add_argument(
+        "sources", nargs="+", metavar="SOURCE",
+        help="a serving node HOST:PORT, a wire-frame file, or a "
+        "checkpoint directory",
+    )
+    parser.add_argument(
+        "--tenant", metavar="NAME",
+        help="tenant to aggregate (required for node and checkpoint "
+        "sources; frame files already carry one tenant's state)",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE",
+        help="also write the reduced sketch as a wire frame to FILE",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-node connect/export timeout (default: 30)",
+    )
+    return parser
+
+
+def _classify(source: str) -> str:
+    if os.path.isdir(source):
+        return "checkpoint"
+    if os.path.isfile(source):
+        return "frame"
+    host, sep, port = source.rpartition(":")
+    if sep and host and port.isdigit():
+        return "node"
+    raise SystemExit(
+        f"source {source!r} is neither an existing file or directory "
+        "nor HOST:PORT"
+    )
+
+
+async def _export_from_node(source: str, tenant: str, timeout: float) -> bytes:
+    from repro.serve.client import ServeClient
+
+    host, __, port = source.rpartition(":")
+    client = await asyncio.wait_for(
+        ServeClient.connect(host, int(port)), timeout
+    )
+    try:
+        return await asyncio.wait_for(client.export(tenant), timeout)
+    finally:
+        await client.close()
+
+
+def _frame_from_node(source: str, tenant: str, timeout: float) -> bytes:
+    try:
+        return asyncio.run(_export_from_node(source, tenant, timeout))
+    except (ConnectionError, OSError, asyncio.TimeoutError) as error:
+        raise SystemExit(f"node {source}: {error}") from error
+
+
+def _frame_from_checkpoint(source: str, tenant: str) -> bytes:
+    from repro.engine.recovery import CheckpointManager, RecoveryError
+    from repro.serve.tenants import TenantRegistry
+
+    try:
+        restored, __ = CheckpointManager(source).load_latest()
+    except RecoveryError as error:
+        raise SystemExit(f"checkpoint {source}: {error}") from error
+    if not isinstance(restored, TenantRegistry):
+        raise SystemExit(
+            f"checkpoint {source} holds a {type(restored).__name__}, "
+            "not a TenantRegistry"
+        )
+    pool = restored.pools.get(tenant)
+    if pool is None:
+        # Same identity semantics as the EXPORT verb: an absent tenant
+        # has recorded nothing, so it contributes an empty pool.
+        pool = restored.config.build_pool(tenant)
+    return encode_sketch(pool)
+
+
+def _frame_from_file(source: str) -> bytes:
+    try:
+        with open(source, "rb") as handle:
+            return handle.read()
+    except OSError as error:
+        raise SystemExit(f"frame {source}: {error}") from error
+
+
+def agg_main(argv: "list[str] | None" = None) -> int:
+    """Entry point of ``repro agg``; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.timeout <= 0:
+        raise SystemExit("--timeout must be > 0")
+    kinds = [(_classify(source), source) for source in args.sources]
+    if args.tenant is None and any(k != "frame" for k, __ in kinds):
+        raise SystemExit(
+            "--tenant is required when sources include serving nodes "
+            "or checkpoint directories"
+        )
+    frames: list[bytes] = []
+    for kind, source in kinds:
+        if kind == "node":
+            frame = _frame_from_node(source, args.tenant, args.timeout)
+        elif kind == "checkpoint":
+            frame = _frame_from_checkpoint(source, args.tenant)
+        else:
+            frame = _frame_from_file(source)
+        try:
+            info = frame_info(frame)
+        except ValueError as error:
+            raise SystemExit(f"{kind} {source}: {error}") from error
+        print(
+            f"{kind} {source}: {info.class_name} "
+            f"({info.codec}, {info.frame_bytes} bytes for "
+            f"{info.raw_bytes} raw)",
+            flush=True,
+        )
+        frames.append(frame)
+    try:
+        reduced = tree_reduce(frames)
+    except (ValueError, TypeError) as error:
+        raise SystemExit(f"cannot reduce: {error}") from error
+    if args.out:
+        out_frame = encode_sketch(reduced)
+        with open(args.out, "wb") as handle:
+            handle.write(out_frame)
+        print(f"wrote reduced frame ({len(out_frame)} bytes) to {args.out}")
+    # Machine-parseable: harnesses read this line for the global count.
+    print(f"aggregate estimate {reduced.query():.6f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(agg_main())

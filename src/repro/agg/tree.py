@@ -1,0 +1,92 @@
+"""Tree reduction over sketches and wire frames.
+
+The compatibility contract (documented in ``docs/merging.md``):
+
+- every operand must decode to the *same class* — mixing classes is a
+  ``TypeError``;
+- all operands must agree on the class's sizing parameters and hash
+  seeds — a mismatch raises
+  :class:`~repro.estimators.IncompatibleSketchError` naming the
+  diverging parameter;
+- merging is the union operation, so reduction order cannot change the
+  result (the merge-algebra property suite asserts commutativity and
+  associativity for the whole zoo); the pairwise tree shape here merely
+  bounds the merge depth at ``ceil(log2 n)`` — the natural layout when
+  the operands themselves arrive from a fan-in of serving nodes.
+
+Operands may be live estimator objects, compact wire frames (``bytes``)
+or any mix. Frames are decoded into fresh sketches; object operands are
+cloned before the first merge, so callers' sketches are never mutated.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Union
+
+from repro.estimators.base import CardinalityEstimator, IncompatibleSketchError
+from repro.estimators.setops import clone
+from repro.obs import get_registry
+from repro.obs.instrument import AggMetrics
+from repro.wire import decode_sketch
+
+__all__ = ["reduce_estimate", "tree_reduce"]
+
+Operand = Union[CardinalityEstimator, bytes]
+
+
+def _materialize(operand: Operand) -> CardinalityEstimator:
+    if isinstance(operand, (bytes, bytearray, memoryview)):
+        return decode_sketch(bytes(operand))
+    if isinstance(operand, CardinalityEstimator):
+        # Clone through the serialization round-trip so the caller's
+        # sketch is never mutated by the in-place merges below.
+        return clone(operand)
+    raise TypeError(
+        f"tree_reduce operands must be sketches or wire frames, "
+        f"got {type(operand).__name__}"
+    )
+
+
+def tree_reduce(operands: Iterable[Operand]) -> CardinalityEstimator:
+    """Fold compatible sketches/frames into one sketch of the union.
+
+    Raises ``ValueError`` on an empty operand list, ``TypeError`` on
+    mixed classes and :class:`IncompatibleSketchError` on parameter
+    mismatches (see the module docstring for the contract).
+    """
+    started = time.perf_counter()
+    level = [_materialize(operand) for operand in operands]
+    if not level:
+        raise ValueError("tree_reduce needs at least one sketch")
+    registry = get_registry()
+    metrics = AggMetrics(registry) if registry.enabled else None
+    if metrics is not None:
+        metrics.inputs.observe(float(len(level)))
+    merges = 0
+    try:
+        while len(level) > 1:
+            paired = []
+            for index in range(0, len(level) - 1, 2):
+                left, right = level[index], level[index + 1]
+                left.merge(right)
+                merges += 1
+                paired.append(left)
+            if len(level) % 2:
+                paired.append(level[-1])
+            level = paired
+    except (IncompatibleSketchError, TypeError, NotImplementedError):
+        if metrics is not None:
+            metrics.merges.inc(merges)
+            metrics.incompatible.inc()
+        raise
+    if metrics is not None:
+        metrics.merges.inc(merges)
+        metrics.reduced.inc()
+        metrics.reduce_seconds.observe(time.perf_counter() - started)
+    return level[0]
+
+
+def reduce_estimate(operands: Iterable[Operand]) -> float:
+    """Distinct count of the union of every operand's stream."""
+    return tree_reduce(operands).query()

@@ -8,8 +8,8 @@ only as good as each class's ``to_bytes``/``from_bytes`` pair covering
 produces checkpoints that load cleanly and then drift, the worst kind
 of corruption (the CRC in the checkpoint container cannot catch it).
 
-Rule
-----
+Rules
+-----
 
 - ``serialization.missing-field`` — for every class that defines both
   ``to_bytes`` and ``from_bytes``: each attribute that is (a) bound in
@@ -20,6 +20,16 @@ Rule
   call) must be referenced by the ``to_bytes``/``from_bytes`` pair —
   directly, or through a same-class method or property they call
   (e.g. ``KMinValues.to_bytes`` covering ``_heap`` via ``values()``).
+
+- ``serialization.unchecked-tail`` — every *own* ``from_bytes`` must
+  demonstrably consume its payload exactly: a decoder that slices what
+  it needs and ignores the rest accepts appended garbage, and the same
+  laxity usually mis-handles truncation (the original
+  ``MultiResolutionBitmap.from_bytes`` bug). A method passes when it
+  calls :func:`repro.framing.require_consumed`, compares
+  ``len(<payload param>)`` against an offset, or hands its open-ended
+  tail (``data[k:]``) to another strict ``from_bytes``. Intentional
+  exceptions use ``# analysis: allow(serialization.unchecked-tail)``.
 
 What does **not** need to round-trip:
 
@@ -162,12 +172,112 @@ class SerializationChecker(Checker):
                 "checkpoints silently drift otherwise"
             ),
         ),
+        Rule(
+            id="serialization.unchecked-tail",
+            summary="from_bytes never rejects trailing bytes",
+            hint=(
+                "finish decoding with repro.framing.require_consumed "
+                "(or compare the final offset against len(data)); a "
+                "decoder that ignores its tail accepts appended garbage "
+                "and usually mis-handles truncation too"
+            ),
+        ),
     )
 
     def check_project(self, project: ProjectModel) -> Iterator[Diagnostic]:
         for info in project.classes:
+            if "from_bytes" in info.methods:
+                yield from self._check_tail(info)
             if "to_bytes" in info.methods and "from_bytes" in info.methods:
                 yield from self._check_class(info)
+
+    # ------------------------------------------------------------------
+    # Exact-consumption analysis (serialization.unchecked-tail)
+    # ------------------------------------------------------------------
+    def _check_tail(self, info: ClassInfo) -> Iterator[Diagnostic]:
+        method = info.methods["from_bytes"]
+        if self._is_raising_stub(method):
+            # The not-serializable capability stub: it decodes nothing,
+            # so there is no tail to check.
+            return
+        param = self._payload_param(method)
+        if param is None or self._consumes_tail(method, param):
+            return
+        yield self.diagnostic(
+            info.module,
+            method,
+            "serialization.unchecked-tail",
+            f"{info.name}.from_bytes never checks that the payload is "
+            "exactly consumed — trailing bytes are silently accepted",
+        )
+
+    @staticmethod
+    def _is_raising_stub(method: ast.FunctionDef) -> bool:
+        """True for a body that is just (docstring +) ``raise``."""
+        body = method.body
+        if body and isinstance(body[0], ast.Expr) and isinstance(
+            body[0].value, ast.Constant
+        ):
+            body = body[1:]
+        return len(body) == 1 and isinstance(body[0], ast.Raise)
+
+    @staticmethod
+    def _payload_param(method: ast.FunctionDef) -> str | None:
+        """The payload parameter name (after ``cls``/``self``)."""
+        args = method.args.args
+        if len(args) >= 2:
+            return args[1].arg
+        if len(args) == 1 and args[0].arg not in ("cls", "self"):
+            return args[0].arg
+        return None
+
+    @staticmethod
+    def _consumes_tail(method: ast.FunctionDef, param: str) -> bool:
+        """True when ``from_bytes`` demonstrably consumes its payload.
+
+        Accepted shapes: a ``require_consumed(...)`` call (the
+        :mod:`repro.framing` helper), ``len(<param>)`` inside a
+        comparison (the hand-rolled ``offset != len(data)`` idiom),
+        delegating an open-ended tail slice ``<param>[k:]`` to another
+        ``from_bytes`` (which then owes the same guarantee), or
+        ``struct.unpack(fmt, <param>)`` over the unsliced payload
+        (``unpack`` raises on any length mismatch).
+        """
+        def _is_len_of_param(node: ast.AST) -> bool:
+            return (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "len"
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == param
+            )
+
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func).split(".")[-1]
+                if name == "require_consumed":
+                    return True
+                if name == "unpack" and any(
+                    isinstance(arg, ast.Name) and arg.id == param
+                    for arg in node.args
+                ):
+                    return True
+                if name == "from_bytes":
+                    for arg in node.args:
+                        if (
+                            isinstance(arg, ast.Subscript)
+                            and isinstance(arg.value, ast.Name)
+                            and arg.value.id == param
+                            and isinstance(arg.slice, ast.Slice)
+                            and arg.slice.upper is None
+                        ):
+                            return True
+            elif isinstance(node, ast.Compare):
+                comparands = [node.left, *node.comparators]
+                if any(_is_len_of_param(item) for item in comparands):
+                    return True
+        return False
 
     # ------------------------------------------------------------------
     # Per-class analysis

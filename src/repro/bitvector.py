@@ -19,6 +19,7 @@ import struct
 
 import numpy as np
 
+from repro.framing import read_array, require_consumed, unpack_header
 from repro.kernels.scatter import scatter_or
 
 _WORD_BITS = 64
@@ -185,12 +186,16 @@ class BitVector:
     @classmethod
     def from_bytes(cls, data: bytes) -> "BitVector":
         """Deserialize a vector produced by :meth:`to_bytes`."""
-        nbits, ones = _HEADER.unpack_from(data)
+        nbits, ones = unpack_header(_HEADER, data, "BitVector")
+        if nbits <= 0:
+            raise ValueError(f"corrupt BitVector payload: nbits={nbits}")
+        nwords = (nbits + _WORD_BITS - 1) // _WORD_BITS
+        words, offset = read_array(
+            data, _HEADER.size, np.uint64, nwords, "BitVector", "words"
+        )
+        require_consumed(data, offset, "BitVector")
         vec = cls(nbits)
-        words = np.frombuffer(data[_HEADER.size:], dtype=np.uint64)
-        if words.size != vec._words.size:
-            raise ValueError("corrupt BitVector payload: word count mismatch")
-        vec._words = words.copy()
+        vec._words = words
         actual = int(np.bitwise_count(vec._words).sum())
         if actual != ones:
             raise ValueError("corrupt BitVector payload: popcount mismatch")

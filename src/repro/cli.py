@@ -10,6 +10,7 @@ Usage::
     python -m repro engine --shards 8         # sharded ingestion engine
     python -m repro stats metrics.json        # render a metrics snapshot
     python -m repro serve --port 9464         # network cardinality server
+    python -m repro agg --tenant f A:9464 B:9464  # cross-node aggregate
 
 Each experiment produces one or more *blocks* — a title plus headers
 and rows — printed as aligned text and optionally dumped as JSON. See
@@ -495,6 +496,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.cli import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "agg":
+        # Cross-node aggregation (repro.agg); dispatched early for the
+        # same reason as `engine`.
+        from repro.agg.cli import agg_main
+
+        return agg_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables and figures.",
@@ -503,7 +510,8 @@ def main(argv: list[str] | None = None) -> int:
         "'repro engine --help' documents the sharded ingestion engine; "
         "'repro analyze --help' the static invariant checkers; "
         "'repro stats --help' the metrics-snapshot viewer; "
-        "'repro serve --help' the network cardinality server.",
+        "'repro serve --help' the network cardinality server; "
+        "'repro agg --help' the cross-node sketch aggregator.",
     )
     parser.add_argument(
         "experiment",

@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.bitvector import BitVector
 from repro.estimators.base import CardinalityEstimator
+from repro.framing import unpack_header
 from repro.hashing import GeometricHash, UniformHash
 from repro.kernels import HashPlane, geometric_request, positions_request
 
@@ -456,12 +457,15 @@ class SelfMorphingBitmap(CardinalityEstimator):
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "SelfMorphingBitmap":
-        magic, m, t, seed, r, v = _HEADER.unpack_from(data)
+        magic, m, t, seed, r, v = unpack_header(
+            _HEADER, data, "SelfMorphingBitmap"
+        )
         if magic != _MAGIC:
             raise ValueError("not a serialized SelfMorphingBitmap")
         smb = cls(m, threshold=t, seed=seed)
         smb.r = r
         smb.v = v
+        # BitVector.from_bytes enforces exact consumption of the rest.
         smb._bits = BitVector.from_bytes(data[_HEADER.size:])
         if len(smb._bits) != m:
             raise ValueError("corrupt SelfMorphingBitmap payload: size mismatch")

@@ -64,6 +64,7 @@ def estimator_registry() -> dict[str, type[CardinalityEstimator]]:
         KMinValues,
         LogLog,
         MultiResolutionBitmap,
+        RefinedHyperLogLog,
         SuperLogLog,
     )
 
@@ -77,6 +78,7 @@ def estimator_registry() -> dict[str, type[CardinalityEstimator]]:
         KMinValues,
         LogLog,
         MultiResolutionBitmap,
+        RefinedHyperLogLog,
         SuperLogLog,
         SelfMorphingBitmap,
     )
@@ -284,11 +286,7 @@ class ShardPool(CardinalityEstimator):
         """
         self._check_mergeable(other)
         assert isinstance(other, ShardPool)  # _check_mergeable guarantees it
-        if (other.num_shards, other.seed) != (self.num_shards, self.seed):
-            raise ValueError(
-                "can only merge pools with the same shard count and "
-                "partition seed"
-            )
+        self._check_merge_params(other, "num_shards", "seed")
         for mine, theirs in zip(self.shards, other.shards):
             mine.merge(theirs)
 

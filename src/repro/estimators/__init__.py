@@ -6,7 +6,7 @@ compared against (§II-B) plus an exact counter for ground truth.
 """
 
 from repro.estimators.adaptive_bitmap import AdaptiveBitmap
-from repro.estimators.base import CardinalityEstimator
+from repro.estimators.base import CardinalityEstimator, IncompatibleSketchError
 from repro.estimators.bitmap import Bitmap
 from repro.estimators.exact import ExactCounter
 from repro.estimators.fm import FMSketch
@@ -34,6 +34,7 @@ __all__ = [
     "HyperLogLogPlusPlus",
     "HyperLogLogTailCut",
     "HyperLogLogTailCutPlus",
+    "IncompatibleSketchError",
     "KMinValues",
     "LogLog",
     "MultiResolutionBitmap",

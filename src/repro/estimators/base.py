@@ -36,6 +36,43 @@ from repro.hashing import canonical_u64, canonical_u64_array
 from repro.kernels import HashPlane
 
 
+class IncompatibleSketchError(ValueError):
+    """Merge rejected: same sketch kind, incompatible parameters.
+
+    Every ``merge()`` raises this (instead of a bespoke ``ValueError``)
+    when the operands have the same class but differ in a sizing
+    parameter or hash seed, so callers — the serve layer's MERGE_IN
+    handler, the aggregation CLI — can report exactly which knob
+    diverged without parsing a message. Cross-*class* merges remain a
+    ``TypeError`` (see :meth:`CardinalityEstimator._check_mergeable`);
+    this error is strictly about parameters.
+
+    Attributes
+    ----------
+    kind:
+        Class name of the sketch being merged into.
+    expected:
+        Parameter values of the merge target, keyed by attribute name.
+    got:
+        The other operand's values for the same parameters.
+    """
+
+    def __init__(
+        self, kind: str, expected: dict[str, object], got: dict[str, object]
+    ) -> None:
+        diverging = [key for key in expected if expected[key] != got.get(key)]
+        detail = ", ".join(
+            f"{key}: expected {expected[key]!r}, got {got.get(key)!r}"
+            for key in diverging
+        )
+        super().__init__(
+            f"cannot merge incompatible {kind} sketches ({detail or 'parameter mismatch'})"
+        )
+        self.kind = kind
+        self.expected = dict(expected)
+        self.got = dict(got)
+
+
 class CardinalityEstimator(ABC):
     """Abstract base class of all estimators (see module docstring)."""
 
@@ -160,6 +197,21 @@ class CardinalityEstimator(ABC):
             raise TypeError(
                 f"cannot merge {type(other).__name__} into {type(self).__name__}"
             )
+
+    def _check_merge_params(
+        self, other: "CardinalityEstimator", *fields: str
+    ) -> None:
+        """Raise :class:`IncompatibleSketchError` unless ``fields`` match.
+
+        ``fields`` name the attributes that define merge compatibility
+        for the subclass (sizing parameters and hash seeds). Call after
+        :meth:`_check_mergeable` so cross-class merges stay a
+        ``TypeError``.
+        """
+        expected = {field: getattr(self, field) for field in fields}
+        got = {field: getattr(other, field) for field in fields}
+        if expected != got:
+            raise IncompatibleSketchError(type(self).__name__, expected, got)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(memory_bits={self.memory_bits()})"

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.bitvector import BitVector
 from repro.estimators.base import CardinalityEstimator
+from repro.framing import unpack_header
 from repro.hashing import MASK64, UniformHash
 from repro.kernels import HashPlane, positions_request, uniform_request
 
@@ -123,8 +124,7 @@ class Bitmap(CardinalityEstimator):
     def merge(self, other: CardinalityEstimator) -> None:
         self._check_mergeable(other)
         assert isinstance(other, Bitmap)
-        if (other.m, other.seed, other.p) != (self.m, self.seed, self.p):
-            raise ValueError("can only merge Bitmaps with identical parameters")
+        self._check_merge_params(other, "m", "seed", "p")
         self._bits.or_update(other._bits)
 
     def to_bytes(self) -> bytes:
@@ -133,10 +133,11 @@ class Bitmap(CardinalityEstimator):
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Bitmap":
-        magic, m, seed, p, __ = _HEADER.unpack_from(data)
+        magic, m, seed, p, __ = unpack_header(_HEADER, data, "Bitmap")
         if magic != _MAGIC:
             raise ValueError("not a serialized Bitmap")
         bitmap = cls(m, seed=seed, sampling_probability=p)
+        # BitVector.from_bytes enforces exact consumption of the rest.
         bitmap._bits = BitVector.from_bytes(data[_HEADER.size:])
         if len(bitmap._bits) != m:
             raise ValueError("corrupt Bitmap payload: size mismatch")

@@ -19,6 +19,7 @@ import struct
 import numpy as np
 
 from repro.estimators.base import CardinalityEstimator
+from repro.framing import read_array, require_consumed, unpack_header
 from repro.hashing import (
     GeometricHash,
     UniformHash,
@@ -127,8 +128,7 @@ class FMSketch(CardinalityEstimator):
     def merge(self, other: CardinalityEstimator) -> None:
         self._check_mergeable(other)
         assert isinstance(other, FMSketch)
-        if (other.t, other.seed) != (self.t, self.seed):
-            raise ValueError("can only merge FMSketches with identical parameters")
+        self._check_merge_params(other, "t", "seed")
         np.bitwise_or(self._registers, other._registers, out=self._registers)
 
     def to_bytes(self) -> bytes:
@@ -136,14 +136,15 @@ class FMSketch(CardinalityEstimator):
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "FMSketch":
-        magic, t, seed = _HEADER.unpack_from(data)
+        magic, t, seed = unpack_header(_HEADER, data, "FMSketch")
         if magic != _MAGIC:
             raise ValueError("not a serialized FMSketch")
         sketch = cls(t * REGISTER_BITS, seed=seed)
-        registers = np.frombuffer(data[_HEADER.size:], dtype=np.uint32)
-        if registers.size != t:
-            raise ValueError("corrupt FMSketch payload: register count mismatch")
-        sketch._registers = registers.copy()
+        registers, offset = read_array(
+            data, _HEADER.size, np.uint32, t, "FMSketch", "registers"
+        )
+        require_consumed(data, offset, "FMSketch")
+        sketch._registers = registers
         return sketch
 
     # Convenience used by tests/examples.

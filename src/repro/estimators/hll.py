@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.estimators._hll_bias import BIAS_RATIO, BIAS_REL
 from repro.estimators.base import CardinalityEstimator
+from repro.framing import read_array, require_consumed, unpack_header
 from repro.hashing import GeometricHash, UniformHash
 from repro.kernels import (
     HashPlane,
@@ -136,8 +137,7 @@ class HyperLogLog(CardinalityEstimator):
     # ------------------------------------------------------------------
     def merge(self, other: CardinalityEstimator) -> None:
         self._check_mergeable(other)
-        if (other.t, other.seed) != (self.t, self.seed):
-            raise ValueError("can only merge sketches with identical parameters")
+        self._check_merge_params(other, "t", "seed")
         np.maximum(self._registers, other._registers, out=self._registers)
 
     def to_bytes(self) -> bytes:
@@ -145,14 +145,15 @@ class HyperLogLog(CardinalityEstimator):
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "HyperLogLog":
-        magic, t, seed = _HEADER.unpack_from(data)
+        magic, t, seed = unpack_header(_HEADER, data, cls.__name__)
         if magic != cls._magic:
             raise ValueError(f"not a serialized {cls.__name__}")
         sketch = cls(t * REGISTER_BITS, seed=seed)
-        registers = np.frombuffer(data[_HEADER.size:], dtype=np.uint8)
-        if registers.size != t:
-            raise ValueError("corrupt payload: register count mismatch")
-        sketch._registers = registers.copy()
+        registers, offset = read_array(
+            data, _HEADER.size, np.uint8, t, cls.__name__, "registers"
+        )
+        require_consumed(data, offset, cls.__name__)
+        sketch._registers = registers
         return sketch
 
     @property

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.estimators.base import CardinalityEstimator
 from repro.estimators.hll import MAX_RANK, _bias, alpha
+from repro.framing import read_array, require_consumed, unpack_header
 from repro.hashing import GeometricHash, UniformHash
 from repro.kernels import (
     HashPlane,
@@ -164,8 +165,7 @@ class HyperLogLogTailCut(CardinalityEstimator):
     def merge(self, other: CardinalityEstimator) -> None:
         self._check_mergeable(other)
         assert isinstance(other, HyperLogLogTailCut)
-        if (other.t, other.seed) != (self.t, self.seed):
-            raise ValueError("can only merge sketches with identical parameters")
+        self._check_merge_params(other, "t", "seed")
         mine = self._offsets.astype(np.int64) + self.base
         theirs = other._offsets.astype(np.int64) + other.base
         merged = np.maximum(mine, theirs)
@@ -178,15 +178,16 @@ class HyperLogLogTailCut(CardinalityEstimator):
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "HyperLogLogTailCut":
-        magic, t, seed, base = _HEADER.unpack_from(data)
+        magic, t, seed, base = unpack_header(_HEADER, data, "HyperLogLogTailCut")
         if magic != _MAGIC:
             raise ValueError("not a serialized HyperLogLogTailCut")
         sketch = cls(t * REGISTER_BITS, seed=seed)
         sketch.base = base
-        offsets = np.frombuffer(data[_HEADER.size:], dtype=np.uint8)
-        if offsets.size != t:
-            raise ValueError("corrupt payload: register count mismatch")
-        sketch._offsets = offsets.copy()
+        offsets, offset = read_array(
+            data, _HEADER.size, np.uint8, t, "HyperLogLogTailCut", "offsets"
+        )
+        require_consumed(data, offset, "HyperLogLogTailCut")
+        sketch._offsets = offsets
         return sketch
 
     @property

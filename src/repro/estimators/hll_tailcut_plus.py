@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.estimators.base import CardinalityEstimator
 from repro.estimators.hll import MAX_RANK
+from repro.framing import read_array, require_consumed, unpack_header
 from repro.hashing import GeometricHash, UniformHash
 from repro.kernels import (
     HashPlane,
@@ -207,8 +208,7 @@ class HyperLogLogTailCutPlus(CardinalityEstimator):
     def merge(self, other: CardinalityEstimator) -> None:
         self._check_mergeable(other)
         assert isinstance(other, HyperLogLogTailCutPlus)
-        if (other.t, other.seed) != (self.t, self.seed):
-            raise ValueError("can only merge sketches with identical parameters")
+        self._check_merge_params(other, "t", "seed")
         mine = self._offsets.astype(np.int64) + self.base
         theirs = other._offsets.astype(np.int64) + other.base
         merged = np.maximum(mine, theirs)
@@ -221,13 +221,16 @@ class HyperLogLogTailCutPlus(CardinalityEstimator):
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "HyperLogLogTailCutPlus":
-        magic, t, seed, base = _HEADER.unpack_from(data)
+        magic, t, seed, base = unpack_header(
+            _HEADER, data, "HyperLogLogTailCutPlus"
+        )
         if magic != _MAGIC:
             raise ValueError("not a serialized HyperLogLogTailCutPlus")
         sketch = cls(t * REGISTER_BITS, seed=seed)
         sketch.base = base
-        offsets = np.frombuffer(data[_HEADER.size:], dtype=np.uint8)
-        if offsets.size != t:
-            raise ValueError("corrupt payload: register count mismatch")
-        sketch._offsets = offsets.copy()
+        offsets, offset = read_array(
+            data, _HEADER.size, np.uint8, t, "HyperLogLogTailCutPlus", "offsets"
+        )
+        require_consumed(data, offset, "HyperLogLogTailCutPlus")
+        sketch._offsets = offsets
         return sketch

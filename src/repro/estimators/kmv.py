@@ -22,6 +22,7 @@ import struct
 import numpy as np
 
 from repro.estimators.base import CardinalityEstimator
+from repro.framing import read_array, require_consumed, unpack_header
 from repro.hashing import UniformHash
 from repro.kernels import HashPlane, uniform_request
 
@@ -136,8 +137,7 @@ class KMinValues(CardinalityEstimator):
     def merge(self, other: CardinalityEstimator) -> None:
         self._check_mergeable(other)
         assert isinstance(other, KMinValues)
-        if (other.k, other.seed) != (self.k, self.seed):
-            raise ValueError("can only merge KMV sketches with identical parameters")
+        self._check_merge_params(other, "k", "seed")
         combined = sorted(set(self.values()) | set(other.values()))[: self.k]
         self._heap = [-v for v in combined]
         heapq.heapify(self._heap)
@@ -152,8 +152,7 @@ class KMinValues(CardinalityEstimator):
 
     def jaccard(self, other: "KMinValues") -> float:
         """AKMV Jaccard similarity estimate between the two streams."""
-        if (other.k, other.seed) != (self.k, self.seed):
-            raise ValueError("KMV sketches must share k and seed")
+        self._check_merge_params(other, "k", "seed")
         mine, theirs = set(self.values()), set(other.values())
         union_k = sorted(mine | theirs)[: self.k]
         if not union_k:
@@ -168,13 +167,22 @@ class KMinValues(CardinalityEstimator):
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "KMinValues":
-        magic, k, seed, count = _HEADER.unpack_from(data)
+        magic, k, seed, count = unpack_header(_HEADER, data, "KMinValues")
         if magic != _MAGIC:
             raise ValueError("not a serialized KMinValues")
         sketch = cls(k, seed=seed)
-        values = np.frombuffer(data[_HEADER.size:], dtype=np.uint64)
-        if values.size != count:
-            raise ValueError("corrupt payload: value count mismatch")
+        if count > k:
+            raise ValueError(
+                f"corrupt KMinValues payload: {count} values exceed k={k}"
+            )
+        values, offset = read_array(
+            data, _HEADER.size, np.uint64, count, "KMinValues", "values"
+        )
+        require_consumed(data, offset, "KMinValues")
+        if values.size > 1 and not bool(np.all(values[1:] > values[:-1])):
+            raise ValueError(
+                "corrupt KMinValues payload: values not strictly increasing"
+            )
         sketch._heap = [-int(v) for v in values]
         heapq.heapify(sketch._heap)
         sketch._members = {int(v) for v in values}

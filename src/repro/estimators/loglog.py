@@ -22,6 +22,7 @@ import struct
 import numpy as np
 
 from repro.estimators.base import CardinalityEstimator
+from repro.framing import read_array, require_consumed, unpack_header
 from repro.hashing import GeometricHash, UniformHash
 from repro.kernels import (
     HashPlane,
@@ -125,8 +126,7 @@ class LogLog(CardinalityEstimator):
     # ------------------------------------------------------------------
     def merge(self, other: CardinalityEstimator) -> None:
         self._check_mergeable(other)
-        if (other.t, other.seed) != (self.t, self.seed):
-            raise ValueError("can only merge sketches with identical parameters")
+        self._check_merge_params(other, "t", "seed")
         np.maximum(self._registers, other._registers, out=self._registers)
 
     def to_bytes(self) -> bytes:
@@ -134,14 +134,15 @@ class LogLog(CardinalityEstimator):
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "LogLog":
-        magic, t, seed = _HEADER.unpack_from(data)
+        magic, t, seed = unpack_header(_HEADER, data, cls.__name__)
         if magic != cls._magic:
             raise ValueError(f"not a serialized {cls.__name__}")
         sketch = cls(t * REGISTER_BITS, seed=seed)
-        registers = np.frombuffer(data[_HEADER.size:], dtype=np.uint8)
-        if registers.size != t:
-            raise ValueError("corrupt payload: register count mismatch")
-        sketch._registers = registers.copy()
+        registers, offset = read_array(
+            data, _HEADER.size, np.uint8, t, cls.__name__, "registers"
+        )
+        require_consumed(data, offset, cls.__name__)
+        sketch._registers = registers
         return sketch
 
     @property

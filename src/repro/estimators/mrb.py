@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.bitvector import BitVector
 from repro.estimators.base import CardinalityEstimator
+from repro.framing import require_consumed, take, unpack_header
 from repro.hashing import GeometricHash, UniformHash
 from repro.kernels import HashPlane, geometric_request, positions_request
 
@@ -168,8 +169,7 @@ class MultiResolutionBitmap(CardinalityEstimator):
     def merge(self, other: CardinalityEstimator) -> None:
         self._check_mergeable(other)
         assert isinstance(other, MultiResolutionBitmap)
-        if (other.b, other.k, other.seed) != (self.b, self.k, self.seed):
-            raise ValueError("can only merge MRBs with identical parameters")
+        self._check_merge_params(other, "b", "k", "seed")
         for mine, theirs in zip(self._components, other._components):
             mine.or_update(theirs)
 
@@ -180,17 +180,24 @@ class MultiResolutionBitmap(CardinalityEstimator):
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "MultiResolutionBitmap":
-        magic, b, k, seed, saturation = _HEADER.unpack_from(data)
+        magic, b, k, seed, saturation = unpack_header(
+            _HEADER, data, "MultiResolutionBitmap"
+        )
         if magic != _MAGIC:
             raise ValueError("not a serialized MultiResolutionBitmap")
         mrb = cls(b, k, seed=seed, saturation=saturation)
         offset = _HEADER.size
-        component_size = len(BitVector(b).to_bytes())
+        component_size = len(mrb._components[0].to_bytes())
         components = []
-        for __ in range(k):
-            components.append(
-                BitVector.from_bytes(data[offset:offset + component_size])
+        for index in range(k):
+            blob, offset = take(
+                data,
+                offset,
+                component_size,
+                "MultiResolutionBitmap",
+                f"component {index}",
             )
-            offset += component_size
+            components.append(BitVector.from_bytes(blob))
+        require_consumed(data, offset, "MultiResolutionBitmap")
         mrb._components = components
         return mrb

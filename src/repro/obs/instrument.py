@@ -23,7 +23,13 @@ labels are documented in ``docs/observability.md``):
   (:mod:`repro.serve.server`);
 - :class:`ParallelMetrics` — per-worker gauges of the multiprocess
   shard backend (:class:`~repro.parallel.ProcessShardPool`): request
-  ring backlog, batches/records applied and shared-memory footprint.
+  ring backlog, batches/records applied and shared-memory footprint;
+- :class:`WireMetrics` — compact sketch frame codec counters
+  (:mod:`repro.wire`): frames encoded/decoded by codec, raw vs wire
+  bytes (the compression ratio is their quotient) and codec latency;
+- :class:`AggMetrics` — cross-node aggregation counters
+  (:mod:`repro.agg`): sketches merged, incompatible pairs rejected and
+  tree-reduction wall time.
 
 Everything here is only ever constructed when the process-wide registry
 is enabled; with the default :class:`~repro.obs.metrics.NullRegistry`
@@ -37,6 +43,7 @@ from repro.core.smb import SelfMorphingBitmap
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
+    "AggMetrics",
     "ParallelMetrics",
     "PipelineMetrics",
     "PoolObserver",
@@ -44,13 +51,16 @@ __all__ = [
     "SERVE_VERBS",
     "SMBObserver",
     "ServerMetrics",
+    "WireMetrics",
 ]
 
 #: The serving layer's request verbs, in wire-constant order. Lives
 #: here (not in ``repro.serve.protocol``) so the metric catalog never
 #: imports the serving layer — ``repro.serve`` imports ``repro.obs``,
 #: not the other way around.
-SERVE_VERBS: tuple[str, ...] = ("record", "estimate", "stats", "checkpoint")
+SERVE_VERBS: tuple[str, ...] = (
+    "record", "estimate", "stats", "checkpoint", "export", "merge_in",
+)
 
 #: Bucket bounds for queue/apply latencies (seconds): microseconds for a
 #: sub-plane apply up to whole seconds of backpressure stall.
@@ -204,6 +214,91 @@ class ServerMetrics:
     def error(self, code: int) -> None:
         """Count one error frame by protocol error code."""
         self._errors.labels(code=str(code)).inc()
+
+
+#: Wire codec names, in wire-constant order (0 = raw). Lives here (not
+#: in ``repro.wire.frame``) for the same reason as :data:`SERVE_VERBS`:
+#: the metric catalog never imports the layers it instruments.
+WIRE_CODECS: tuple[str, ...] = ("raw", "huffman", "zrle")
+
+
+class WireMetrics:
+    """Instrument bundle of the compact sketch frame codec.
+
+    Per-codec children are pre-resolved into dicts keyed by the codec
+    names in :data:`WIRE_CODECS`; encode/decode paths do plain
+    ``encoded["huffman"].inc()`` work. Raw and wire byte counters run
+    alongside so the fleet-wide compression ratio is one quotient away.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        encoded = registry.counter(
+            "repro_wire_frames_encoded_total",
+            "Sketch frames encoded, by winning codec",
+            labels=("codec",),
+        )
+        decoded = registry.counter(
+            "repro_wire_frames_decoded_total",
+            "Sketch frames decoded, by codec",
+            labels=("codec",),
+        )
+        self.encoded = {codec: encoded.labels(codec=codec) for codec in WIRE_CODECS}
+        self.decoded = {codec: decoded.labels(codec=codec) for codec in WIRE_CODECS}
+        self.decode_errors = registry.counter(
+            "repro_wire_decode_errors_total",
+            "Frames rejected by decode_sketch (bad magic/CRC/payload)",
+        )
+        self.raw_bytes = registry.counter(
+            "repro_wire_raw_bytes_total",
+            "Uncompressed to_bytes payload bytes passed through the codec",
+        )
+        self.wire_bytes = registry.counter(
+            "repro_wire_frame_bytes_total",
+            "Encoded frame bytes produced (header + blob + checksum)",
+        )
+        self.encode_seconds = registry.histogram(
+            "repro_wire_encode_seconds",
+            "Wall time of one encode_sketch call",
+            buckets=LATENCY_BUCKETS,
+        )
+        self.decode_seconds = registry.histogram(
+            "repro_wire_decode_seconds",
+            "Wall time of one decode_sketch call",
+            buckets=LATENCY_BUCKETS,
+        )
+
+
+class AggMetrics:
+    """Instrument bundle of the cross-node aggregation layer.
+
+    Constructed per :func:`repro.agg.tree_reduce` call site when the
+    registry is enabled; reductions are rare control-plane work, so
+    nothing here is hot.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.merges = registry.counter(
+            "repro_agg_merges_total",
+            "Pairwise sketch merges performed by tree_reduce",
+        )
+        self.incompatible = registry.counter(
+            "repro_agg_incompatible_total",
+            "Reductions aborted because operands were not merge-compatible",
+        )
+        self.reduced = registry.counter(
+            "repro_agg_reductions_total",
+            "tree_reduce calls completed",
+        )
+        self.inputs = registry.histogram(
+            "repro_agg_reduce_inputs",
+            "Operand count per tree_reduce call",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        )
+        self.reduce_seconds = registry.histogram(
+            "repro_agg_reduce_seconds",
+            "Wall time of one tree_reduce call",
+            buckets=LATENCY_BUCKETS,
+        )
 
 
 class SMBObserver:

@@ -36,7 +36,11 @@ from repro.serve.protocol import (
     Error,
     Estimate,
     EstimateOk,
+    Export,
+    ExportOk,
     FrameDecoder,
+    MergeIn,
+    MergeInOk,
     Record,
     RecordOk,
     Request,
@@ -191,6 +195,30 @@ class ServeClient:
         )
         return int(response.generation)  # type: ignore[union-attr]
 
+    async def export(self, tenant: str) -> bytes:
+        """The tenant's state as a compact :mod:`repro.wire` frame.
+
+        The server drains the tenant to a safe point first, so the frame
+        is a consistent cut; an unknown tenant exports a deterministic
+        empty pool (the merge identity).
+        """
+        response = self._expect(
+            await self.request(Export(tenant)), ExportOk
+        )
+        return bytes(response.frame)  # type: ignore[union-attr]
+
+    async def merge_in(self, tenant: str, frame: bytes) -> float:
+        """Merge a wire frame into the tenant; returns the new estimate.
+
+        An incompatible or undecodable frame raises :class:`ServeError`
+        (E_INCOMPATIBLE / E_BAD_PAYLOAD) without dropping the
+        connection.
+        """
+        response = self._expect(
+            await self.request(MergeIn(tenant, frame)), MergeInOk
+        )
+        return float(response.estimate)  # type: ignore[union-attr]
+
     async def __aenter__(self) -> "ServeClient":
         return self
 
@@ -293,6 +321,15 @@ class RetryingClient:
     async def checkpoint(self) -> int:
         """Retrying :meth:`ServeClient.checkpoint`."""
         return await self._call("checkpoint")
+
+    async def export(self, tenant: str) -> bytes:
+        """Retrying :meth:`ServeClient.export`."""
+        return await self._call("export", tenant)
+
+    async def merge_in(self, tenant: str, frame: bytes) -> float:
+        """Retrying :meth:`ServeClient.merge_in` (idempotent: merges
+        are unions, so a retried MERGE_IN cannot inflate the estimate)."""
+        return await self._call("merge_in", tenant, frame)
 
     async def __aenter__(self) -> "RetryingClient":
         return self

@@ -21,6 +21,9 @@ Request payloads:
     ESTIMATE (0x02)    u16 tenant length | tenant utf-8
     STATS (0x03)       (empty)
     CHECKPOINT (0x04)  (empty)
+    EXPORT (0x05)      u16 tenant length | tenant utf-8
+    MERGE_IN (0x06)    u16 tenant length | tenant utf-8
+                       | u32 frame length | compact sketch wire frame
 
 Response payloads:
 
@@ -28,7 +31,16 @@ Response payloads:
     ESTIMATE_OK (0x82)    f64 cardinality estimate
     STATS_OK (0x83)       utf-8 JSON document
     CHECKPOINT_OK (0x84)  u64 checkpoint generation number
+    EXPORT_OK (0x85)      u32 frame length | compact sketch wire frame
+    MERGE_IN_OK (0x86)    f64 post-merge cardinality estimate
     ERROR (0xFF)          u16 error code | utf-8 message
+
+EXPORT and MERGE_IN carry :mod:`repro.wire` compact sketch frames (the
+tenant's whole shard pool in one self-describing frame), which is what
+lets ``repro agg`` tree-reduce N serving nodes into one global
+estimate. An incompatible MERGE_IN — wrong sketch class or diverging
+sizing/seed parameters — answers a typed :data:`E_INCOMPATIBLE` error
+frame and the connection survives.
 
 Validation is **strict**, the same discipline as the checkpoint
 container (:mod:`repro.engine.checkpoint`): a payload must be consumed
@@ -64,8 +76,11 @@ __all__ = [
     "DEFAULT_MAX_FRAME",
     "ESTIMATE",
     "ESTIMATE_OK",
+    "EXPORT",
+    "EXPORT_OK",
     "E_BAD_FRAME",
     "E_BAD_PAYLOAD",
+    "E_INCOMPATIBLE",
     "E_INTERNAL",
     "E_OVERLOADED",
     "E_SHUTTING_DOWN",
@@ -75,7 +90,13 @@ __all__ = [
     "Error",
     "Estimate",
     "EstimateOk",
+    "Export",
+    "ExportOk",
     "FrameDecoder",
+    "MERGE_IN",
+    "MERGE_IN_OK",
+    "MergeIn",
+    "MergeInOk",
     "ProtocolError",
     "RECORD",
     "RECORD_OK",
@@ -108,12 +129,16 @@ RECORD = 0x01
 ESTIMATE = 0x02
 STATS = 0x03
 CHECKPOINT = 0x04
+EXPORT = 0x05
+MERGE_IN = 0x06
 
 # Response verbs (request verb | 0x80), plus the error frame.
 RECORD_OK = 0x81
 ESTIMATE_OK = 0x82
 STATS_OK = 0x83
 CHECKPOINT_OK = 0x84
+EXPORT_OK = 0x85
+MERGE_IN_OK = 0x86
 ERROR = 0xFF
 
 # Error codes carried by ERROR frames.
@@ -123,6 +148,7 @@ E_BAD_PAYLOAD = 3  #: well-framed body failed strict decoding
 E_OVERLOADED = 4  #: backpressure rejected the request; retry later
 E_SHUTTING_DOWN = 5  #: server is draining; no new mutations accepted
 E_INTERNAL = 6  #: unexpected server-side failure
+E_INCOMPATIBLE = 7  #: MERGE_IN sketch is not merge-compatible; connection survives
 
 _LENGTH = struct.Struct("<I")
 _U16 = struct.Struct("<H")
@@ -179,6 +205,21 @@ class Checkpoint:
 
 
 @dataclass(frozen=True)
+class Export:
+    """EXPORT: the tenant's sketch as a compact wire frame."""
+
+    tenant: str
+
+
+@dataclass(frozen=True)
+class MergeIn:
+    """MERGE_IN: union a compact wire frame into the tenant's sketch."""
+
+    tenant: str
+    frame: bytes = field(repr=False)
+
+
+@dataclass(frozen=True)
 class RecordOk:
     """Acknowledges a RECORD: every key of the batch was enqueued."""
 
@@ -207,6 +248,20 @@ class CheckpointOk:
 
 
 @dataclass(frozen=True)
+class ExportOk:
+    """Carries one tenant's sketch as a compact wire frame."""
+
+    frame: bytes = field(repr=False)
+
+
+@dataclass(frozen=True)
+class MergeInOk:
+    """Acknowledges a MERGE_IN with the post-merge estimate."""
+
+    estimate: float
+
+
+@dataclass(frozen=True)
 class Error:
     """An error response; ``code`` is one of the ``E_*`` constants."""
 
@@ -214,8 +269,10 @@ class Error:
     message: str
 
 
-Request = Union[Record, Estimate, Stats, Checkpoint]
-Response = Union[RecordOk, EstimateOk, StatsOk, CheckpointOk, Error]
+Request = Union[Record, Estimate, Stats, Checkpoint, Export, MergeIn]
+Response = Union[
+    RecordOk, EstimateOk, StatsOk, CheckpointOk, ExportOk, MergeInOk, Error
+]
 
 
 # ----------------------------------------------------------------------
@@ -256,6 +313,20 @@ def encode_request(request: Request) -> bytes:
         )
     elif isinstance(request, Estimate):
         body = bytes([ESTIMATE]) + _encode_tenant(request.tenant)
+    elif isinstance(request, Export):
+        body = bytes([EXPORT]) + _encode_tenant(request.tenant)
+    elif isinstance(request, MergeIn):
+        frame = bytes(request.frame)
+        if not frame:
+            raise ProtocolError(E_BAD_PAYLOAD, "MERGE_IN frame must be non-empty")
+        body = b"".join(
+            (
+                bytes([MERGE_IN]),
+                _encode_tenant(request.tenant),
+                _U32.pack(len(frame)),
+                frame,
+            )
+        )
     elif isinstance(request, Stats):
         body = bytes([STATS])
     elif isinstance(request, Checkpoint):
@@ -279,6 +350,13 @@ def encode_response(response: Response) -> bytes:
         ).encode("utf-8")
     elif isinstance(response, CheckpointOk):
         body = bytes([CHECKPOINT_OK]) + _U64.pack(response.generation)
+    elif isinstance(response, ExportOk):
+        frame = bytes(response.frame)
+        if not frame:
+            raise ProtocolError(E_BAD_PAYLOAD, "EXPORT_OK frame must be non-empty")
+        body = bytes([EXPORT_OK]) + _U32.pack(len(frame)) + frame
+    elif isinstance(response, MergeInOk):
+        body = bytes([MERGE_IN_OK]) + _F64.pack(response.estimate)
     elif isinstance(response, Error):
         body = (
             bytes([ERROR])
@@ -375,6 +453,23 @@ def decode_request(body: bytes | memoryview) -> Request:
     if verb == CHECKPOINT:
         _exactly_consumed(payload, 1)
         return Checkpoint()
+    if verb == EXPORT:
+        tenant, offset = _decode_tenant(payload, 1)
+        _exactly_consumed(payload, offset)
+        return Export(tenant)
+    if verb == MERGE_IN:
+        tenant, offset = _decode_tenant(payload, 1)
+        if len(payload) < offset + _U32.size:
+            raise ProtocolError(E_BAD_PAYLOAD, "truncated MERGE_IN frame length")
+        (length,) = _U32.unpack_from(payload, offset)
+        offset += _U32.size
+        if length == 0:
+            raise ProtocolError(E_BAD_PAYLOAD, "MERGE_IN frame must be non-empty")
+        frame = bytes(payload[offset:offset + length])
+        if len(frame) != length:
+            raise ProtocolError(E_BAD_PAYLOAD, "truncated MERGE_IN frame")
+        _exactly_consumed(payload, offset + length)
+        return MergeIn(tenant, frame)
     raise ProtocolError(E_UNKNOWN_VERB, f"unknown request verb 0x{verb:02x}")
 
 
@@ -396,6 +491,21 @@ def decode_response(body: bytes | memoryview) -> Response:
         if len(payload) != 1 + _U64.size:
             raise ProtocolError(E_BAD_PAYLOAD, "malformed CHECKPOINT_OK")
         return CheckpointOk(_U64.unpack_from(payload, 1)[0])
+    if verb == MERGE_IN_OK:
+        if len(payload) != 1 + _F64.size:
+            raise ProtocolError(E_BAD_PAYLOAD, "malformed MERGE_IN_OK")
+        return MergeInOk(_F64.unpack_from(payload, 1)[0])
+    if verb == EXPORT_OK:
+        if len(payload) < 1 + _U32.size:
+            raise ProtocolError(E_BAD_PAYLOAD, "truncated EXPORT_OK")
+        (length,) = _U32.unpack_from(payload, 1)
+        if length == 0:
+            raise ProtocolError(E_BAD_PAYLOAD, "EXPORT_OK frame must be non-empty")
+        frame = bytes(payload[1 + _U32.size:1 + _U32.size + length])
+        if len(frame) != length:
+            raise ProtocolError(E_BAD_PAYLOAD, "truncated EXPORT_OK frame")
+        _exactly_consumed(payload, 1 + _U32.size + length)
+        return ExportOk(frame)
     if verb == STATS_OK:
         import json
 

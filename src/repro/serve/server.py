@@ -50,7 +50,7 @@ from collections import deque
 from typing import TYPE_CHECKING, cast
 
 from repro.engine.pipeline import DEFAULT_CHUNK, IngestPipeline
-from repro.estimators.base import CardinalityEstimator
+from repro.estimators.base import CardinalityEstimator, IncompatibleSketchError
 from repro.obs.metrics import get_registry
 from repro.serve import protocol
 from repro.serve.protocol import (
@@ -58,7 +58,11 @@ from repro.serve.protocol import (
     CheckpointOk,
     Estimate,
     EstimateOk,
+    Export,
+    ExportOk,
     FrameDecoder,
+    MergeIn,
+    MergeInOk,
     ProtocolError,
     Record,
     RecordOk,
@@ -68,6 +72,7 @@ from repro.serve.protocol import (
     encode_response,
 )
 from repro.serve.tenants import TenantConfig, TenantLimitError, TenantRegistry
+from repro.wire import decode_sketch, encode_sketch
 
 if TYPE_CHECKING:
     from repro.engine.recovery import CheckpointManager, Generation
@@ -475,6 +480,12 @@ class CardinalityServer:
             if isinstance(request, Record):
                 response = await self._handle_record(request)
                 verb = "record"
+            elif isinstance(request, Export):
+                response = await self._handle_export(request)
+                verb = "export"
+            elif isinstance(request, MergeIn):
+                response = await self._handle_merge_in(request)
+                verb = "merge_in"
             else:
                 assert isinstance(request, Checkpoint)
                 response = await self._handle_checkpoint()
@@ -574,6 +585,97 @@ class CardinalityServer:
             "tenants": len(self.registry),
             "final": final,
         }
+
+    async def _handle_export(self, request: Export) -> bytes:
+        if self._shutting_down:
+            return self._error(
+                protocol.E_SHUTTING_DOWN, "server is draining"
+            )
+        # Shielded like CHECKPOINT: the drain/encode must finish and the
+        # exclusive gate be released even if the client disconnects.
+        return await asyncio.shield(self._export_gated(request.tenant))
+
+    async def _export_gated(self, tenant: str) -> bytes:
+        await self._gate.acquire_write()
+        try:
+            frame = await self._loop.run_in_executor(
+                None, self._export_sync, tenant
+            )
+        except (RuntimeError, ValueError) as error:
+            return self._error(protocol.E_INTERNAL, str(error))
+        finally:
+            await self._gate.release_write()
+        return encode_response(ExportOk(frame))
+
+    def _export_sync(self, tenant: str) -> bytes:
+        # The exclusive gate quiesced ingest, so drain reaches a safe
+        # point and the exported frame is a consistent cut.
+        pipeline = self._pipelines.get(tenant)
+        if pipeline is not None:
+            pipeline.drain()
+            pipeline.sync_pool()
+        pool = self.registry.pools.get(tenant)
+        if pool is None:
+            # Unknown tenant: export a deterministic empty pool without
+            # registering it — EXPORT, like ESTIMATE, never mutates the
+            # registry, and the empty frame merges as the identity.
+            pool = self.config.build_pool(tenant)
+        return encode_sketch(pool)
+
+    async def _handle_merge_in(self, request: MergeIn) -> bytes:
+        if self._shutting_down:
+            return self._error(
+                protocol.E_SHUTTING_DOWN, "server is draining"
+            )
+        # Shielded: the registry pool mutates inside the executor; the
+        # gate must outlive any client disconnect mid-merge.
+        return await asyncio.shield(self._merge_in_gated(request))
+
+    async def _merge_in_gated(self, request: MergeIn) -> bytes:
+        await self._gate.acquire_write()
+        try:
+            estimate = await self._loop.run_in_executor(
+                None, self._merge_in_sync, request.tenant, request.frame
+            )
+        except TenantLimitError as error:
+            return self._error(protocol.E_OVERLOADED, str(error))
+        except (IncompatibleSketchError, TypeError, NotImplementedError) as error:
+            # A bad sketch is the *request's* problem, not the
+            # connection's: answer a typed error frame and keep serving.
+            return self._error(protocol.E_INCOMPATIBLE, str(error))
+        except ValueError as error:
+            return self._error(
+                protocol.E_BAD_PAYLOAD, f"undecodable sketch frame: {error}"
+            )
+        except RuntimeError as error:
+            return self._error(protocol.E_INTERNAL, str(error))
+        finally:
+            await self._gate.release_write()
+        return encode_response(MergeInOk(estimate))
+
+    def _merge_in_sync(self, tenant: str, frame: bytes) -> float:
+        sketch = decode_sketch(frame)  # ValueError -> E_BAD_PAYLOAD
+        pipeline = self._pipelines.get(tenant)
+        if pipeline is not None and pipeline.workers:
+            # Process workers hold shard state in their own shared-memory
+            # arenas; sync_pool only pulls worker state *into* the
+            # registry pool — there is no push-back, so a merge here
+            # would be silently overwritten by the next sync. Refuse
+            # rather than lose data; merge before ingest starts, or
+            # into a thread-backed server.
+            raise RuntimeError(
+                f"tenant {tenant!r} has an active process-backed "
+                "pipeline; MERGE_IN cannot reach worker shard state "
+                "(use workers=0, or merge before ingest starts)"
+            )
+        if pipeline is not None:
+            # Thread backend mutates the registry pool in place; drain
+            # to a safe point (the gate already stopped producers) so
+            # the merge composes with fully-applied records.
+            pipeline.drain()
+        pool = self.registry.pool(tenant)  # may raise TenantLimitError
+        pool.merge(sketch)  # typed incompatibility errors propagate
+        return float(pool.query())
 
     # ------------------------------------------------------------------
     # State

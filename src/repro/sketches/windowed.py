@@ -23,7 +23,7 @@ from typing import Callable, Hashable, Iterable
 
 import numpy as np
 
-from repro.estimators.base import CardinalityEstimator
+from repro.estimators.base import CardinalityEstimator, IncompatibleSketchError
 
 
 class WindowedEstimator:
@@ -121,9 +121,21 @@ class SlidingWindowEstimator:
                 "SlidingWindowEstimator needs a merge-capable estimator "
                 f"(got {type(probe_a).__name__}): {error}"
             ) from error
+        except IncompatibleSketchError as error:
+            # Two fresh factory() products disagreed on parameters — the
+            # factory draws nondeterministic seeds/sizes, so panes could
+            # never merge at query time.
+            raise TypeError(
+                "SlidingWindowEstimator needs a deterministic factory: two "
+                f"fresh {type(probe_a).__name__} instances are not merge-"
+                f"compatible ({error}); fix the factory to pass an explicit "
+                "seed"
+            ) from error
         self._factory = factory
         self.panes = int(panes)
-        self._ring: list[CardinalityEstimator] = [factory()]
+        # probe_b is untouched by the probe merge; reuse it as the first
+        # (open) pane instead of discarding both probes.
+        self._ring: list[CardinalityEstimator] = [probe_b]
 
     def record(self, item: object) -> None:
         """Record one item into the open pane."""

@@ -1,0 +1,33 @@
+"""Compact sketch wire format (see ``docs/merging.md``).
+
+- :mod:`repro.wire.frame` — the versioned, self-describing frame:
+  :func:`encode_sketch` / :func:`decode_sketch` round-trip any
+  serializable sketch (the whole mergeable zoo plus
+  :class:`~repro.engine.shards.ShardPool`) bit-exactly;
+- :mod:`repro.wire.huffman` — HBS-style canonical Huffman coding for
+  the register families;
+- :mod:`repro.wire.rle` — sparse zero-run-length coding for low-fill
+  bitmap planes.
+"""
+
+from repro.wire.frame import (
+    CODEC_HUFFMAN,
+    CODEC_RAW,
+    CODEC_ZRLE,
+    FrameInfo,
+    decode_sketch,
+    encode_sketch,
+    frame_info,
+    wire_registry,
+)
+
+__all__ = [
+    "CODEC_HUFFMAN",
+    "CODEC_RAW",
+    "CODEC_ZRLE",
+    "FrameInfo",
+    "decode_sketch",
+    "encode_sketch",
+    "frame_info",
+    "wire_registry",
+]

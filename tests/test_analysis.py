@@ -657,6 +657,156 @@ class TestSerialization:
 
 
 # ----------------------------------------------------------------------
+# serialization.unchecked-tail
+# ----------------------------------------------------------------------
+class TestUncheckedTail:
+    RULE = "serialization.unchecked-tail"
+
+    def test_slicing_decoder_flagged(self, tmp_path):
+        result = run_on(
+            tmp_path,
+            """\
+            import struct
+
+
+            class Sliced:
+                def __init__(self, size):
+                    self.size = int(size)
+
+                def to_bytes(self):
+                    return struct.pack("<Q", self.size)
+
+                @classmethod
+                def from_bytes(cls, data):
+                    (size,) = struct.unpack("<Q", data[:8])
+                    return cls(size)
+            """,
+        )
+        assert findings(result, self.RULE) == [(12, self.RULE)]
+
+    def test_require_consumed_clean(self, tmp_path):
+        result = run_on(
+            tmp_path,
+            """\
+            import struct
+
+            from repro.framing import require_consumed
+
+
+            class Strict:
+                def __init__(self, size):
+                    self.size = int(size)
+
+                def to_bytes(self):
+                    return struct.pack("<Q", self.size)
+
+                @classmethod
+                def from_bytes(cls, data):
+                    (size,) = struct.unpack("<Q", data[:8])
+                    require_consumed(data, 8, "Strict")
+                    return cls(size)
+            """,
+        )
+        assert not findings(result, self.RULE)
+
+    def test_length_comparison_clean(self, tmp_path):
+        result = run_on(
+            tmp_path,
+            """\
+            import struct
+
+
+            class HandRolled:
+                def __init__(self, size):
+                    self.size = int(size)
+
+                def to_bytes(self):
+                    return struct.pack("<Q", self.size)
+
+                @classmethod
+                def from_bytes(cls, data):
+                    (size,) = struct.unpack("<Q", data[:8])
+                    if len(data) != 8:
+                        raise ValueError("trailing bytes")
+                    return cls(size)
+            """,
+        )
+        assert not findings(result, self.RULE)
+
+    def test_tail_delegation_clean(self, tmp_path):
+        result = run_on(
+            tmp_path,
+            """\
+            import struct
+
+
+            class Wrapper:
+                def __init__(self, inner):
+                    self.inner = inner
+
+                def to_bytes(self):
+                    return b"W" + self.inner.to_bytes()
+
+                @classmethod
+                def from_bytes(cls, data):
+                    return cls(Inner.from_bytes(data[1:]))
+            """,
+        )
+        assert not findings(result, self.RULE)
+
+    def test_whole_payload_unpack_clean(self, tmp_path):
+        """struct.unpack over the unsliced payload raises on any length
+        mismatch — it is an exact-consumption check by itself."""
+        result = run_on(
+            tmp_path,
+            """\
+            import struct
+
+
+            class Exact:
+                def __init__(self, size, seed):
+                    self.size = int(size)
+                    self.seed = int(seed)
+
+                def to_bytes(self):
+                    return struct.pack("<QQ", self.size, self.seed)
+
+                @classmethod
+                def from_bytes(cls, data):
+                    size, seed = struct.unpack("<QQ", data)
+                    return cls(size, seed)
+            """,
+        )
+        assert not findings(result, self.RULE)
+
+    def test_raising_stub_skipped(self, tmp_path):
+        result = run_on(
+            tmp_path,
+            """\
+            class NotSerializable:
+                @classmethod
+                def from_bytes(cls, data):
+                    "Exact counters are not checkpointable."
+                    raise NotImplementedError("not serializable")
+            """,
+        )
+        assert not findings(result, self.RULE)
+
+    def test_allow_comment_suppresses(self, tmp_path):
+        result = run_on(
+            tmp_path,
+            """\
+            class Legacy:
+                @classmethod
+                # analysis: allow(serialization.unchecked-tail) -- v0 blobs
+                def from_bytes(cls, data):
+                    return cls(data[:8])
+            """,
+        )
+        assert not findings(result, self.RULE)
+
+
+# ----------------------------------------------------------------------
 # suppression and baseline
 # ----------------------------------------------------------------------
 class TestSuppression:

@@ -1,0 +1,237 @@
+"""Merge algebra: union semantics, typed incompatibility, wire parity.
+
+Merging must behave as the union of the underlying streams, which makes
+it a commutative, associative, idempotent semilattice join — the
+property tree-reduction (and any distributed fold order) relies on.
+The suite checks the laws on serialized state, not just estimates, so
+any order-dependence is caught bit-exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Bitmap,
+    FMSketch,
+    HyperLogLog,
+    HyperLogLogPlusPlus,
+    HyperLogLogTailCut,
+    KMinValues,
+    LogLog,
+    MultiResolutionBitmap,
+    ShardPool,
+    SuperLogLog,
+)
+from repro.estimators import (
+    HyperLogLogTailCutPlus,
+    IncompatibleSketchError,
+    RefinedHyperLogLog,
+)
+from repro.streams import distinct_items
+from repro.wire import decode_sketch, encode_sketch
+
+MERGEABLE = [
+    ("bitmap", lambda seed=3: Bitmap(500, seed=seed)),
+    ("mrb", lambda seed=3: MultiResolutionBitmap(100, 8, seed=seed)),
+    ("fm", lambda seed=3: FMSketch(640, seed=seed)),
+    ("loglog", lambda seed=3: LogLog(500, seed=seed)),
+    ("superloglog", lambda seed=3: SuperLogLog(500, seed=seed)),
+    ("hll", lambda seed=3: HyperLogLog(500, seed=seed)),
+    ("hllpp", lambda seed=3: HyperLogLogPlusPlus(500, seed=seed)),
+    ("tailcut", lambda seed=3: HyperLogLogTailCut(400, seed=seed)),
+    ("tailcutplus", lambda seed=3: HyperLogLogTailCutPlus(300, seed=seed)),
+    ("refined", lambda seed=3: RefinedHyperLogLog(500, seed=seed)),
+    ("kmv", lambda seed=3: KMinValues(16, seed=seed)),
+    ("pool", lambda seed=3: ShardPool.of("HLL", 2000, 4, seed=seed)),
+]
+IDS = [name for name, __ in MERGEABLE]
+
+_streams = st.lists(
+    st.tuples(st.integers(0, 400), st.integers(0, 50)),
+    min_size=2,
+    max_size=3,
+)
+
+
+@pytest.fixture(params=MERGEABLE, ids=IDS)
+def mergeable(request):
+    return request.param
+
+
+def _loaded(factory, n, seed):
+    sketch = factory()
+    if n:
+        sketch.record_many(distinct_items(n, seed=seed))
+    return sketch
+
+
+class TestMergeLaws:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(streams=_streams)
+    def test_commutative(self, mergeable, streams):
+        __, factory = mergeable
+        (n1, s1), (n2, s2) = streams[:2]
+        ab = _loaded(factory, n1, s1)
+        ab.merge(_loaded(factory, n2, s2))
+        ba = _loaded(factory, n2, s2)
+        ba.merge(_loaded(factory, n1, s1))
+        assert ab.to_bytes() == ba.to_bytes()
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(streams=_streams)
+    def test_associative(self, mergeable, streams):
+        __, factory = mergeable
+        while len(streams) < 3:
+            streams = streams + streams
+        (n1, s1), (n2, s2), (n3, s3) = streams[:3]
+        left = _loaded(factory, n1, s1)
+        bc = _loaded(factory, n2, s2)
+        bc.merge(_loaded(factory, n3, s3))
+        left.merge(bc)  # a . (b . c)
+        right = _loaded(factory, n1, s1)
+        right.merge(_loaded(factory, n2, s2))
+        right.merge(_loaded(factory, n3, s3))  # (a . b) . c
+        assert left.to_bytes() == right.to_bytes()
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(n=st.integers(0, 400), seed=st.integers(0, 50))
+    def test_idempotent(self, mergeable, n, seed):
+        """a.merge(a-equivalent) is a no-op: unions absorb duplicates."""
+        __, factory = mergeable
+        sketch = _loaded(factory, n, seed)
+        before = sketch.to_bytes()
+        sketch.merge(_loaded(factory, n, seed))
+        assert sketch.to_bytes() == before
+
+    def test_merge_matches_union_stream(self, mergeable):
+        __, factory = mergeable
+        merged = _loaded(factory, 300, 11)
+        merged.merge(_loaded(factory, 300, 12))
+        oracle = factory()
+        oracle.record_many(distinct_items(300, seed=11))
+        oracle.record_many(distinct_items(300, seed=12))
+        assert merged.to_bytes() == oracle.to_bytes()
+
+
+class TestIncompatibility:
+    def test_seed_mismatch_is_typed(self, mergeable):
+        __, factory = mergeable
+        sketch = factory(seed=3)
+        with pytest.raises(IncompatibleSketchError) as info:
+            sketch.merge(factory(seed=4))
+        error = info.value
+        assert isinstance(error, ValueError)
+        assert error.kind == type(sketch).__name__
+        assert "seed" in error.expected and "seed" in error.got
+        assert error.expected["seed"] != error.got["seed"]
+        assert "seed" in str(error)
+
+    def test_size_mismatch_is_typed(self):
+        with pytest.raises(IncompatibleSketchError) as info:
+            HyperLogLog(500, seed=3).merge(HyperLogLog(4000, seed=3))
+        assert info.value.expected != info.value.got
+
+    def test_pool_shape_mismatch_is_typed(self):
+        small = ShardPool.of("HLL", 2000, 2, seed=3)
+        large = ShardPool.of("HLL", 2000, 4, seed=3)
+        with pytest.raises(IncompatibleSketchError) as info:
+            small.merge(large)
+        assert "num_shards" in info.value.expected
+
+    def test_cross_class_stays_type_error(self):
+        with pytest.raises(TypeError):
+            HyperLogLog(500, seed=3).merge(LogLog(500, seed=3))
+
+    def test_compatible_state_divergence_is_fine(self, mergeable):
+        """Same parameters, different contents: merging must succeed."""
+        __, factory = mergeable
+        sketch = _loaded(factory, 100, 1)
+        sketch.merge(_loaded(factory, 200, 2))
+
+
+class TestWireParity:
+    """ShardPool merge algebra carried through compact wire frames."""
+
+    def test_pool_roundtrips_through_frames_bit_exactly(self):
+        pool = ShardPool.of("HLL", 2000, 4, seed=3)
+        pool.record_many(distinct_items(5_000, seed=21))
+        restored = decode_sketch(encode_sketch(pool))
+        assert restored.to_bytes() == pool.to_bytes()
+
+    def test_merged_equals_merge_of_decoded_frames(self):
+        a = ShardPool.of("HLL", 2000, 4, seed=3)
+        b = ShardPool.of("HLL", 2000, 4, seed=3)
+        a.record_many(distinct_items(4_000, seed=31))
+        b.record_many(distinct_items(4_000, seed=32))
+        frame_a, frame_b = encode_sketch(a), encode_sketch(b)
+        via_frames = decode_sketch(frame_a)
+        via_frames.merge(decode_sketch(frame_b))
+        a.merge(b)  # direct in-memory merge
+        assert via_frames.to_bytes() == a.to_bytes()
+        # ... and the re-encoded union frame round-trips too.
+        assert (
+            decode_sketch(encode_sketch(via_frames)).to_bytes()
+            == a.to_bytes()
+        )
+
+    def test_merged_collapse_through_frames(self):
+        """pool.merged() commutes with the frame round-trip."""
+        pool = ShardPool.of("HLL", 2000, 4, seed=3)
+        pool.record_many(distinct_items(6_000, seed=40))
+        collapsed = pool.merged()
+        via_frame = decode_sketch(encode_sketch(pool)).merged()
+        assert via_frame.to_bytes() == collapsed.to_bytes()
+        # The collapsed single sketch travels as a frame of its own.
+        assert (
+            decode_sketch(encode_sketch(collapsed)).to_bytes()
+            == collapsed.to_bytes()
+        )
+
+
+class TestWindowedProbe:
+    """SlidingWindowEstimator factory probing (satellite fix)."""
+
+    def test_nondeterministic_factory_guidance(self):
+        from repro.sketches.windowed import SlidingWindowEstimator
+
+        counter = iter(range(1000))
+
+        def bad_factory():
+            return HyperLogLog(500, seed=next(counter))
+
+        with pytest.raises(TypeError, match="deterministic factory"):
+            SlidingWindowEstimator(bad_factory, panes=4)
+
+    def test_unmergeable_factory_guidance(self):
+        from repro import SelfMorphingBitmap
+        from repro.sketches.windowed import SlidingWindowEstimator
+
+        with pytest.raises(TypeError, match="merge"):
+            SlidingWindowEstimator(
+                lambda: SelfMorphingBitmap(500, threshold=50, seed=1),
+                panes=4,
+            )
+
+    def test_deterministic_factory_works(self):
+        from repro.sketches.windowed import SlidingWindowEstimator
+
+        windowed = SlidingWindowEstimator(
+            lambda: HyperLogLog(500, seed=7), panes=4
+        )
+        items = np.arange(1000, dtype=np.uint64)
+        windowed.record_many(items)
+        assert windowed.query() > 0

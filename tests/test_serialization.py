@@ -17,8 +17,16 @@ from repro import (
     SelfMorphingBitmap,
     SuperLogLog,
 )
-from repro.estimators import HyperLogLogTailCutPlus
+from repro.estimators import HyperLogLogTailCutPlus, RefinedHyperLogLog
 from repro.streams import distinct_items
+
+
+def _calibrated_refined():
+    """A RefinedHyperLogLog that can answer query() (learn() is
+    required before querying; the coefficient rides the round-trip)."""
+    refined = RefinedHyperLogLog(500, seed=3)
+    refined.learn(distinct_items(2000, seed=99), 2000)
+    return refined
 
 SERIALIZABLE = [
     ("bitmap", lambda: Bitmap(500, seed=3), Bitmap),
@@ -30,6 +38,7 @@ SERIALIZABLE = [
     ("hllpp", lambda: HyperLogLogPlusPlus(500, seed=3), HyperLogLogPlusPlus),
     ("tailcut", lambda: HyperLogLogTailCut(400, seed=3), HyperLogLogTailCut),
     ("tailcutplus", lambda: HyperLogLogTailCutPlus(300, seed=3), HyperLogLogTailCutPlus),
+    ("refined", _calibrated_refined, RefinedHyperLogLog),
     ("kmv", lambda: KMinValues(16, seed=3), KMinValues),
     ("smb", lambda: SelfMorphingBitmap(500, threshold=50, seed=3), SelfMorphingBitmap),
 ]
@@ -94,16 +103,37 @@ class TestCorruption:
             with pytest.raises(ValueError):
                 cls.from_bytes(hll.to_bytes())
 
-    def test_truncated_rejected(self, serializable):
-        name, factory, cls = serializable
+    def test_every_truncation_rejected(self, serializable):
+        """Decoding is strict: *any* proper prefix is a ValueError.
+
+        Before the framing hardening some decoders (notably MRB's)
+        silently accepted short payloads as short component slices.
+        """
+        __, factory, cls = serializable
         estimator = factory()
         estimator.record_many(distinct_items(200, seed=7))
         data = estimator.to_bytes()
-        with pytest.raises((ValueError, Exception)):
-            result = cls.from_bytes(data[: len(data) // 2])
-            # Some formats tolerate truncation structurally; if parsing
-            # succeeded the state must at least be self-consistent.
-            assert result.query() >= 0
+        cuts = set(range(0, len(data), max(1, len(data) // 64)))
+        cuts.update((0, 1, len(data) // 2, len(data) - 1))
+        for cut in sorted(cuts):
+            with pytest.raises(ValueError):
+                cls.from_bytes(data[:cut])
+
+    def test_trailing_garbage_rejected(self, serializable):
+        """Decoders must consume the payload exactly, never slice-and-
+        ignore — appended bytes mean corruption or a framing bug."""
+        __, factory, cls = serializable
+        estimator = factory()
+        estimator.record_many(distinct_items(200, seed=7))
+        data = estimator.to_bytes()
+        for garbage in (b"\x00", b"x", b"\xff" * 16):
+            with pytest.raises(ValueError):
+                cls.from_bytes(data + garbage)
+
+    def test_empty_rejected(self, serializable):
+        __, __factory, cls = serializable
+        with pytest.raises(ValueError):
+            cls.from_bytes(b"")
 
 
 class TestUnsupported:

@@ -1,0 +1,263 @@
+"""Compact wire frames: round-trips, codecs, compression, corruption."""
+
+import numpy as np
+import pytest
+
+from repro.streams import distinct_items
+from repro.wire import (
+    CODEC_HUFFMAN,
+    CODEC_RAW,
+    CODEC_ZRLE,
+    decode_sketch,
+    encode_sketch,
+    frame_info,
+    wire_registry,
+)
+from repro.wire import huffman, rle
+from repro.wire.frame import _REGISTER_FAMILY
+
+#: (name, loaded factory) covering every wire-registry class; memory
+#: budgets are realistic (paper-scale-ish) so the compression assertions
+#: below measure meaningful fills, not empty sketches.
+FRAMEABLE = []
+
+
+def _zoo():
+    from repro import ShardPool
+    from repro.estimators import RefinedHyperLogLog
+
+    registry = wire_registry()
+    for name, cls in sorted(registry.items()):
+        if cls is ShardPool:
+            def build(cls=cls):
+                pool = ShardPool.of("HLL", 50_000, 4, seed=3)
+                pool.record_many(distinct_items(20_000, seed=5))
+                return pool
+        elif cls is RefinedHyperLogLog:
+            def build(cls=cls):
+                sketch = cls(50_000, seed=3)
+                sketch.learn(distinct_items(5_000, seed=9), 5_000)
+                sketch.record_many(distinct_items(20_000, seed=5))
+                return sketch
+        elif name == "MultiResolutionBitmap":
+            def build(cls=cls):
+                sketch = cls(2048, 12, seed=3)
+                sketch.record_many(distinct_items(20_000, seed=5))
+                return sketch
+        elif name == "SelfMorphingBitmap":
+            def build(cls=cls):
+                sketch = cls(50_000, threshold=4096, seed=3)
+                sketch.record_many(distinct_items(20_000, seed=5))
+                return sketch
+        elif name == "KMinValues":
+            def build(cls=cls):
+                sketch = cls(512, seed=3)
+                sketch.record_many(distinct_items(20_000, seed=5))
+                return sketch
+        else:
+            def build(cls=cls):
+                sketch = cls(50_000, seed=3)
+                sketch.record_many(distinct_items(20_000, seed=5))
+                return sketch
+        FRAMEABLE.append((name, build))
+
+
+_zoo()
+IDS = [name for name, __ in FRAMEABLE]
+
+
+@pytest.fixture(params=FRAMEABLE, ids=IDS)
+def frameable(request):
+    return request.param
+
+
+class TestCodecs:
+    """Unit tests of the two entropy coders on raw byte strings."""
+
+    CASES = [
+        b"",
+        b"\x00" * 4096,
+        b"\x00\x00\x07\x00\x00\x00\x00\x01" * 256,
+        bytes(np.random.default_rng(0).integers(0, 256, 2048, dtype=np.uint8)),
+        bytes(np.random.default_rng(1).integers(0, 4, 4096, dtype=np.uint8)),
+        b"a",
+        b"ab" * 1000,
+    ]
+
+    @pytest.mark.parametrize("codec", [huffman, rle], ids=["huffman", "zrle"])
+    @pytest.mark.parametrize("data", CASES, ids=range(len(CASES)))
+    def test_roundtrip(self, codec, data):
+        encoded = codec.encode(data)
+        if encoded is None:
+            return  # the codec declined; the frame layer falls back to raw
+        assert codec.decode(encoded) == data
+
+    @pytest.mark.parametrize("codec", [huffman, rle], ids=["huffman", "zrle"])
+    def test_strict_decode(self, codec):
+        encoded = codec.encode(b"\x00\x00\x05\x00\x01\x02\x03" * 64)
+        assert encoded is not None
+        with pytest.raises(ValueError):
+            codec.decode(encoded + b"\x00")
+        with pytest.raises(ValueError):
+            codec.decode(encoded[:-1])
+        with pytest.raises(ValueError):
+            codec.decode(b"")
+
+    def test_zrle_wins_on_sparse(self):
+        data = bytearray(8192)
+        data[17] = 3
+        data[6001] = 255
+        encoded = rle.encode(bytes(data))
+        assert encoded is not None and len(encoded) < 64
+
+    def test_huffman_wins_on_low_entropy(self):
+        data = bytes(
+            np.random.default_rng(2).choice(
+                [0, 1, 2, 3], p=[0.7, 0.2, 0.05, 0.05], size=8192
+            ).astype(np.uint8)
+        )
+        encoded = huffman.encode(data)
+        assert encoded is not None and len(encoded) < len(data) // 2
+
+
+class TestFrames:
+    def test_roundtrip_bit_exact(self, frameable):
+        __, build = frameable
+        sketch = build()
+        frame = encode_sketch(sketch)
+        restored = decode_sketch(frame)
+        assert type(restored) is type(sketch)
+        assert restored.to_bytes() == sketch.to_bytes()
+
+    def test_roundtrip_empty_sketches(self):
+        """The all-zero state (zrle's best case) round-trips too."""
+        from repro import HyperLogLog, SelfMorphingBitmap, ShardPool
+
+        for empty in (
+            HyperLogLog(50_000, seed=3),
+            SelfMorphingBitmap(50_000, threshold=4096, seed=3),
+            ShardPool.of("HLL", 50_000, 4, seed=3),
+        ):
+            frame = encode_sketch(empty)
+            assert decode_sketch(frame).to_bytes() == empty.to_bytes()
+
+    def test_register_families_compress(self, frameable):
+        """The headline claim: entropy coding beats raw to_bytes on the
+        >= 4-bit register families at realistic fills."""
+        name, build = frameable
+        if name not in _REGISTER_FAMILY:
+            pytest.skip("compression bar applies to register families")
+        frame = encode_sketch(build())
+        info = frame_info(frame)
+        assert info.codec == "huffman"
+        assert info.ratio > 1.2, (
+            f"{name}: frame {info.frame_bytes}B vs raw {info.raw_bytes}B"
+        )
+
+    def test_frame_never_much_larger_than_raw(self, frameable):
+        """Raw fallback: incompressible payloads cost only the header."""
+        __, build = frameable
+        sketch = build()
+        raw = len(sketch.to_bytes())
+        frame = len(encode_sketch(sketch))
+        assert frame <= raw + 64
+
+    def test_forced_codec_still_roundtrips(self, frameable):
+        __, build = frameable
+        sketch = build()
+        for codec in (CODEC_RAW, CODEC_HUFFMAN, CODEC_ZRLE):
+            frame = encode_sketch(sketch, codec=codec)
+            assert decode_sketch(frame).to_bytes() == sketch.to_bytes()
+
+    def test_frame_info_matches(self, frameable):
+        __, build = frameable
+        sketch = build()
+        frame = encode_sketch(sketch)
+        info = frame_info(frame)
+        assert info.class_name == type(sketch).__name__
+        assert info.frame_bytes == len(frame)
+        assert info.raw_bytes == len(sketch.to_bytes())
+
+
+class TestFrameCorruption:
+    @pytest.fixture()
+    def frame(self):
+        from repro import HyperLogLog
+
+        sketch = HyperLogLog(50_000, seed=3)
+        sketch.record_many(distinct_items(20_000, seed=5))
+        return encode_sketch(sketch)
+
+    def test_truncation_rejected(self, frame):
+        for cut in (0, 1, 4, len(frame) // 2, len(frame) - 1):
+            with pytest.raises(ValueError):
+                decode_sketch(frame[:cut])
+
+    def test_trailing_garbage_rejected(self, frame):
+        with pytest.raises(ValueError):
+            decode_sketch(frame + b"\x00")
+
+    def test_bad_magic_rejected(self, frame):
+        with pytest.raises(ValueError, match="magic"):
+            decode_sketch(b"XXXX" + frame[4:])
+
+    def test_bad_version_rejected(self, frame):
+        mutated = bytearray(frame)
+        mutated[4] = 99
+        with pytest.raises(ValueError, match="version"):
+            decode_sketch(bytes(mutated))
+
+    def test_bad_codec_rejected(self, frame):
+        mutated = bytearray(frame)
+        mutated[5] = 99
+        with pytest.raises(ValueError, match="codec"):
+            decode_sketch(bytes(mutated))
+
+    def test_bit_flip_caught_by_crc(self, frame):
+        # Flip one payload bit; the CRC must catch it even when the
+        # entropy-coded blob would still decode to *something*.
+        mutated = bytearray(frame)
+        mutated[len(mutated) // 2] ^= 0x10
+        with pytest.raises(ValueError):
+            decode_sketch(bytes(mutated))
+
+    def test_unknown_class_rejected(self, frame):
+        import zlib
+
+        from repro.wire.frame import _HEAD, _U32, MAGIC, VERSION
+
+        name = b"NoSuchSketch"
+        body = (
+            _HEAD.pack(MAGIC, VERSION, CODEC_RAW, len(name))
+            + name
+            + _U32.pack(4)
+            + _U32.pack(4)
+            + b"\x00\x00\x00\x00"
+        )
+        bogus = body + _U32.pack(zlib.crc32(body))
+        with pytest.raises(ValueError, match="unknown class"):
+            decode_sketch(bogus)
+
+    def test_raw_length_mismatch_rejected(self, frame):
+        import zlib
+
+        from repro.wire.frame import _HEAD, _U32, MAGIC, VERSION
+
+        name = b"HyperLogLog"
+        body = (
+            _HEAD.pack(MAGIC, VERSION, CODEC_RAW, len(name))
+            + name
+            + _U32.pack(999)  # promises more than the blob holds
+            + _U32.pack(4)
+            + b"\x00\x00\x00\x00"
+        )
+        bogus = body + _U32.pack(zlib.crc32(body))
+        with pytest.raises(ValueError, match="decoded"):
+            decode_sketch(bogus)
+
+    def test_non_registry_class_rejected(self):
+        class NotASketch:
+            pass
+
+        with pytest.raises(TypeError):
+            encode_sketch(NotASketch())  # type: ignore[arg-type]

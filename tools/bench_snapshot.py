@@ -46,6 +46,17 @@ And the serving-layer pair:
 - ``--check-serve FILE`` validates such a snapshot against
   :func:`validate_serve_snapshot` — used by the CI serve-smoke job.
 
+And the wire-format pair:
+
+- ``--wire-out BENCH_wire.json`` encodes every wire-registry sketch at
+  a realistic fill through :func:`repro.wire.encode_sketch`, recording
+  raw vs frame bytes, the selected codec, the compression ratio and
+  encode/decode throughput, plus the wire PR's acceptance criterion
+  (compact frames beat raw ``to_bytes`` by >= 1.2x on the >= 4-bit
+  register families);
+- ``--check-wire FILE`` validates such a snapshot and re-enforces the
+  register-family compression bar — used by the CI wire-bench job.
+
 And the multicore scaling gatekeeper:
 
 - ``--check-scaling FILE`` validates a ``BENCH_scaling.json`` snapshot
@@ -442,6 +453,168 @@ def check_scaling_bars(snapshot: dict) -> list[str]:
             f"derives {not problems}"
         )
     return problems
+
+
+# ----------------------------------------------------------------------
+# Wire-format snapshot (``--wire-out`` → BENCH_wire.json)
+# ----------------------------------------------------------------------
+
+_WIRE_ROW = {
+    "codec": ("raw", "huffman", "zrle"),
+    "raw_bytes": "count",
+    "frame_bytes": "count",
+    "ratio": "count",
+    "encode_ms": "count",
+    "decode_ms": "count",
+}
+
+WIRE_SNAPSHOT_SCHEMA = {
+    "generated_by": str,
+    "python": str,
+    "numpy": str,
+    "stream_items": "count",
+    "memory_bits": "count",
+    "sketches": {"__keys__": _WIRE_ROW},
+    "criteria": {
+        "register_family_ratios": {"__keys__": "count"},
+        "min_register_family_ratio": "number",
+        "pass": bool,
+    },
+}
+
+#: The wire PR's acceptance bar: entropy coding must beat raw
+#: ``to_bytes`` on the >= 4-bit register families at realistic fills.
+MIN_REGISTER_FAMILY_RATIO = 1.2
+
+
+def validate_wire_snapshot(snapshot: object) -> list[str]:
+    """Validate a BENCH_wire.json dict; returns a list of problems."""
+    errors: list[str] = []
+    _check(snapshot, WIRE_SNAPSHOT_SCHEMA, "snapshot", errors)
+    return errors
+
+
+def check_wire_bars(snapshot: dict) -> list[str]:
+    """Schema plus the register-family compression bar; returns problems."""
+    problems = validate_wire_snapshot(snapshot)
+    if problems:
+        return problems
+    criteria = snapshot["criteria"]
+    ratios = criteria["register_family_ratios"]
+    if not ratios:
+        problems.append("criteria.register_family_ratios is empty")
+    for name, ratio in sorted(ratios.items()):
+        if ratio < MIN_REGISTER_FAMILY_RATIO:
+            problems.append(
+                f"{name}: compression ratio {ratio} < "
+                f"{MIN_REGISTER_FAMILY_RATIO} acceptance bar"
+            )
+    if bool(criteria["pass"]) != (not problems):
+        problems.append(
+            f"criteria.pass is {criteria['pass']} but the checker "
+            f"derives {not problems}"
+        )
+    return problems
+
+
+def _wire_zoo(memory_bits: int, stream_items: int) -> dict:
+    """Loaded instances of every wire-registry class at realistic fill."""
+    from repro.estimators import RefinedHyperLogLog
+    from repro.wire import wire_registry
+
+    items = distinct_items(stream_items, seed=5)
+    zoo = {}
+    for name, cls in sorted(wire_registry().items()):
+        if cls is ShardPool:
+            sketch = ShardPool.of("HLL", memory_bits, 4, seed=3)
+        elif cls is RefinedHyperLogLog:
+            sketch = cls(memory_bits, seed=3)
+            sketch.learn(distinct_items(5_000, seed=9), 5_000)
+        elif name == "MultiResolutionBitmap":
+            sketch = cls(max(memory_bits // 24, 64), 12, seed=3)
+        elif name == "SelfMorphingBitmap":
+            sketch = cls(memory_bits, threshold=memory_bits // 12, seed=3)
+        elif name == "KMinValues":
+            sketch = cls(512, seed=3)
+        else:
+            sketch = cls(memory_bits, seed=3)
+        sketch.record_many(items)
+        zoo[name] = sketch
+    return zoo
+
+
+def bench_wire(memory_bits: int, stream_items: int) -> dict:
+    """Per-sketch frame size and codec throughput rows."""
+    from repro.wire import decode_sketch, encode_sketch, frame_info
+
+    rows = {}
+    for name, sketch in _wire_zoo(memory_bits, stream_items).items():
+        frame = encode_sketch(sketch)
+        info = frame_info(frame)
+        rows[name] = {
+            "codec": info.codec,
+            "raw_bytes": info.raw_bytes,
+            "frame_bytes": info.frame_bytes,
+            "ratio": round(info.ratio, 3),
+            "encode_ms": round(_time(lambda: encode_sketch(sketch)) * 1e3, 3),
+            "decode_ms": round(_time(lambda: decode_sketch(frame)) * 1e3, 3),
+        }
+    return rows
+
+
+def _write_wire_snapshot(out: Path) -> int:
+    """Benchmark the compact wire format and write BENCH_wire.json."""
+    from repro.wire.frame import _REGISTER_FAMILY
+
+    scale = repro_scale(1.0)
+    stream_items = max(4_000, int(20_000 * scale))
+    memory_bits = 50_000
+    sketches = bench_wire(memory_bits, stream_items)
+
+    ratios = {
+        name: row["ratio"]
+        for name, row in sketches.items()
+        if name in _REGISTER_FAMILY
+    }
+    snapshot = {
+        "generated_by": "tools/bench_snapshot.py",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "stream_items": stream_items,
+        "memory_bits": memory_bits,
+        "sketches": sketches,
+        "criteria": {
+            "register_family_ratios": ratios,
+            "min_register_family_ratio": MIN_REGISTER_FAMILY_RATIO,
+            "pass": bool(ratios)
+            and all(
+                ratio >= MIN_REGISTER_FAMILY_RATIO
+                for ratio in ratios.values()
+            ),
+        },
+    }
+
+    problems = validate_wire_snapshot(snapshot)
+    if problems:
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        print("refusing to write a snapshot that fails its own schema")
+        return 1
+
+    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {out}")
+    for name, row in sorted(sketches.items()):
+        print(
+            f"  {name:24s} {row['frame_bytes']:>8,d}B / "
+            f"{row['raw_bytes']:>8,d}B raw  "
+            f"({row['ratio']:.2f}x, {row['codec']})"
+        )
+    if not snapshot["criteria"]["pass"]:
+        print(
+            "WARNING: register-family compression below the "
+            f"{MIN_REGISTER_FAMILY_RATIO}x acceptance bar"
+        )
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -889,6 +1062,22 @@ def main(argv: list[str] | None = None) -> int:
         help="validate a BENCH_serve.json snapshot and exit",
     )
     parser.add_argument(
+        "--wire-out",
+        metavar="FILE",
+        help=(
+            "benchmark the compact sketch wire format and write the "
+            "snapshot (BENCH_wire.json), then exit"
+        ),
+    )
+    parser.add_argument(
+        "--check-wire",
+        metavar="FILE",
+        help=(
+            "validate a BENCH_wire.json snapshot and enforce the "
+            "register-family compression bar, then exit"
+        ),
+    )
+    parser.add_argument(
         "--check-scaling",
         metavar="FILE",
         help=(
@@ -937,6 +1126,18 @@ def main(argv: list[str] | None = None) -> int:
             verdict = f"ok (waived: {waiver})"
         print(f"{args.check_scaling}: {verdict}")
         return 1 if problems else 0
+
+    if args.check_wire is not None:
+        problems = check_wire_bars(
+            json.loads(Path(args.check_wire).read_text())
+        )
+        for problem in problems:
+            print(f"wire: {problem}", file=sys.stderr)
+        print(f"{args.check_wire}: {'INVALID' if problems else 'ok'}")
+        return 1 if problems else 0
+
+    if args.wire_out is not None:
+        return _write_wire_snapshot(Path(args.wire_out))
 
     if args.obs_out is not None:
         return _write_obs_snapshot(Path(args.obs_out))
